@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation of Section 3.3's dummy-address design choices: random
+ * address, original address, and the paper's chosen fixed address
+ * (which enables dropping dummies at the memory). Reports execution
+ * time, PCM cell writes (wear) and array energy for each policy.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::bench;
+
+int
+main()
+{
+    printHeader("Ablation (Sec 3.3): dummy-address policy");
+
+    const char *benchmarks[] = {"bwaves", "milc", "lbm", "soplex"};
+
+    std::printf("%-10s %-9s %11s %12s %14s %12s\n", "Benchmark",
+                "Policy", "Overhead%", "CellWrites", "EnergyPj",
+                "DummyPCM");
+    std::printf("%.*s\n", 72,
+                "----------------------------------------------------"
+                "--------------------");
+
+    for (const char *name : benchmarks) {
+        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
+
+        for (DummyPolicy policy :
+             {DummyPolicy::Fixed, DummyPolicy::Original,
+              DummyPolicy::Random}) {
+            SystemConfig cfg =
+                makeConfig(ProtectionMode::ObfusMemAuth, name);
+            cfg.obfusmem.dummyPolicy = policy;
+            System sys(cfg);
+            auto r = sys.run();
+            double dummy_pcm = 0;
+            for (auto &side : sys.memSides()) {
+                dummy_pcm += side->stats().scalarValue(
+                    "dummyPcmAccesses");
+            }
+            const char *policy_name =
+                policy == DummyPolicy::Fixed
+                    ? "fixed"
+                    : policy == DummyPolicy::Original ? "original"
+                                                      : "random";
+            std::printf("%-10s %-9s %11.1f %12llu %14.0f %12.0f\n",
+                        name, policy_name,
+                        overheadPct(r.execTicks, base),
+                        static_cast<unsigned long long>(r.cellWrites),
+                        r.pcmEnergyPj, dummy_pcm);
+        }
+    }
+
+    std::printf("\nClaim check (Observation 2): the fixed-address "
+                "design drops every dummy at the\nmemory - zero "
+                "dummy PCM accesses, no extra wear or energy; the "
+                "alternatives pay\nreal row accesses (and 'random' "
+                "also destroys row-buffer locality).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation of Section 3.5's MAC composition: the paper's
+ * encrypt-and-MAC (overlapped with encryption) versus the rejected
+ * encrypt-then-MAC, whose 64-stage MD5 pipeline serializes on the
+ * request path (Observation 4).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::bench;
+
+int
+main()
+{
+    printHeader("Ablation (Sec 3.5): encrypt-and-MAC vs "
+                "encrypt-then-MAC");
+
+    const char *benchmarks[] = {"bwaves", "mcf", "milc", "soplex",
+                                "sjeng"};
+
+    std::printf("%-12s %12s %16s %16s\n", "Benchmark", "NoAuth%",
+                "Encrypt&MAC%", "EncryptThenMAC%");
+    std::printf("%.*s\n", 60,
+                "----------------------------------------------------"
+                "--------");
+
+    double sum_and = 0, sum_then = 0;
+    int n = 0;
+    for (const char *name : benchmarks) {
+        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
+        Tick none = run(ProtectionMode::ObfusMem, name).execTicks;
+
+        SystemConfig and_cfg =
+            makeConfig(ProtectionMode::ObfusMemAuth, name);
+        and_cfg.obfusmem.mac.mode = MacMode::EncryptAndMac;
+        Tick and_mac = runConfig(and_cfg).execTicks;
+
+        SystemConfig then_cfg =
+            makeConfig(ProtectionMode::ObfusMemAuth, name);
+        then_cfg.obfusmem.mac.mode = MacMode::EncryptThenMac;
+        Tick then_mac = runConfig(then_cfg).execTicks;
+
+        std::printf("%-12s %12.1f %16.1f %16.1f\n", name,
+                    overheadPct(none, base),
+                    overheadPct(and_mac, base),
+                    overheadPct(then_mac, base));
+        sum_and += overheadPct(and_mac, base);
+        sum_then += overheadPct(then_mac, base);
+        ++n;
+    }
+
+    std::printf("%.*s\n", 60,
+                "----------------------------------------------------"
+                "--------");
+    std::printf("%-12s %12s %16.1f %16.1f\n", "Avg", "", sum_and / n,
+                sum_then / n);
+    std::printf("\nClaim check (Observation 4): overlapping the MAC "
+                "with encryption keeps\nauthentication nearly free; "
+                "serializing the full MD5 pipeline does not.\n");
+    return 0;
+}

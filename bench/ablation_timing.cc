@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation of the paper's Sec. 6.2 sketch for timing-channel
+ * protection: issue exactly one request group per epoch on every
+ * channel (dummies filling empty slots, never dropped at the
+ * memory), so request *timing* reveals nothing. Measures what that
+ * obliviousness costs on top of plain ObfusMem for several epochs.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::bench;
+
+int
+main()
+{
+    printHeader("Ablation (Sec 6.2): timing-oblivious ObfusMem");
+
+    const char *benchmarks[] = {"milc", "libquantum", "sjeng",
+                                "hmmer"};
+    const Tick epochs_ns[] = {40, 60, 100};
+
+    std::printf("%-12s %14s | %14s %14s %14s\n", "Benchmark",
+                "ObfusMem%", "oblivious@40ns", "@60ns", "@100ns");
+    std::printf("%.*s\n", 74,
+                "----------------------------------------------------"
+                "----------------------");
+
+    for (const char *name : benchmarks) {
+        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
+        Tick plain =
+            run(ProtectionMode::ObfusMemAuth, name).execTicks;
+
+        double oblivious[3];
+        int i = 0;
+        for (Tick epoch : epochs_ns) {
+            SystemConfig cfg =
+                makeConfig(ProtectionMode::ObfusMemAuth, name);
+            cfg.obfusmem.timingOblivious = true;
+            cfg.obfusmem.issueEpoch = epoch * tickPerNs;
+            oblivious[i++] =
+                overheadPct(runConfig(cfg).execTicks, base);
+        }
+
+        std::printf("%-12s %14.1f | %14.1f %14.1f %14.1f\n", name,
+                    overheadPct(plain, base), oblivious[0],
+                    oblivious[1], oblivious[2]);
+    }
+
+    std::printf("\nTiming obliviousness trades throughput (slow "
+                "epochs throttle bursts) against\nwasted bandwidth "
+                "and PCM energy (fast epochs issue more undroppable "
+                "dummies);\nthe paper argues ObfusMem's low baseline "
+                "overhead leaves room for this.\n");
+    return 0;
+}

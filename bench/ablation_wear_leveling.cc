@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: Start-Gap wear leveling in the PCM module's controller
+ * logic (the Sec. 2.2 context: NVM modules already need such logic,
+ * which is why a logic layer exists for ObfusMem's crypto to share).
+ * Measures the row-copy overhead and shows that ObfusMem's dummy
+ * traffic composes with wear leveling without extra cell writes.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::bench;
+
+int
+main()
+{
+    printHeader("Ablation: Start-Gap wear leveling in the PCM "
+                "controller");
+
+    const char *benchmarks[] = {"lbm", "milc", "libquantum"};
+
+    std::printf("%-12s %-14s %11s %12s %10s %12s\n", "Benchmark",
+                "Config", "Overhead%", "CellWrites", "GapMoves",
+                "EnergyPj");
+    std::printf("%.*s\n", 76,
+                "----------------------------------------------------"
+                "------------------------");
+
+    for (const char *name : benchmarks) {
+        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
+
+        struct Variant
+        {
+            const char *label;
+            ProtectionMode mode;
+            bool leveling;
+        };
+        const Variant variants[] = {
+            {"obfusmem", ProtectionMode::ObfusMemAuth, false},
+            {"obfusmem+SG", ProtectionMode::ObfusMemAuth, true},
+            {"plain+SG", ProtectionMode::Unprotected, true},
+        };
+
+        for (const Variant &v : variants) {
+            SystemConfig cfg = makeConfig(v.mode, name);
+            cfg.pcm.wearLeveling = v.leveling;
+            // Aggressive gap movement so the mechanism is visible in
+            // a short run (production period would be ~100).
+            cfg.pcm.gapMovePeriod = 8;
+            System sys(cfg);
+            auto r = sys.run();
+            double moves = 0;
+            for (auto &pcm : sys.pcmControllers())
+                moves += pcm->stats().scalarValue("gapMoves");
+            std::printf("%-12s %-14s %11.1f %12llu %10.0f %12.0f\n",
+                        name, v.label, overheadPct(r.execTicks, base),
+                        static_cast<unsigned long long>(r.cellWrites),
+                        moves, r.pcmEnergyPj);
+        }
+    }
+
+    std::printf("\nGap moves cost one row copy each (read + row "
+                "write); because ObfusMem's fixed\ndummies never "
+                "reach the banks, the leveler sees the same write "
+                "stream as the\nunprotected system.\n");
+    return 0;
+}

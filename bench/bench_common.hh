@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks: run a configured
+ * system, format table rows, and honor the OBFUSMEM_BENCH_INSTRS /
+ * OBFUSMEM_QUICK environment knobs.
+ */
+
+#ifndef OBFUSMEM_BENCH_COMMON_HH
+#define OBFUSMEM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "system/system.hh"
+
+namespace obfusmem {
+namespace bench {
+
+/** Instructions per core for benchmark runs (env-overridable). */
+inline uint64_t
+instructionsPerCore()
+{
+    if (const char *env = std::getenv("OBFUSMEM_BENCH_INSTRS"))
+        return std::strtoull(env, nullptr, 10);
+    if (std::getenv("OBFUSMEM_QUICK"))
+        return 40 * 1000;
+    return 150 * 1000;
+}
+
+/** The 15 benchmark names of Table 1, in the paper's order. */
+inline std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : BenchmarkProfile::spec2006())
+        names.push_back(p.name);
+    return names;
+}
+
+/** Build a config with the paper's defaults for one benchmark. */
+inline SystemConfig
+makeConfig(ProtectionMode mode, const std::string &benchmark,
+           unsigned channels = 1)
+{
+    SystemConfig cfg;
+    cfg.mode = mode;
+    cfg.benchmark = benchmark;
+    cfg.channels = channels;
+    cfg.instrPerCore = instructionsPerCore();
+    cfg.attachObserver = false; // keep perf runs lean
+    return cfg;
+}
+
+/** Run one configuration to completion. */
+inline System::RunResult
+runConfig(const SystemConfig &cfg)
+{
+    System system(cfg);
+    return system.run();
+}
+
+inline System::RunResult
+run(ProtectionMode mode, const std::string &benchmark,
+    unsigned channels = 1)
+{
+    return runConfig(makeConfig(mode, benchmark, channels));
+}
+
+/** Percent overhead of `t` versus `base`. */
+inline double
+overheadPct(Tick t, Tick base)
+{
+    return 100.0 * (static_cast<double>(t) / base - 1.0);
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("(instructions/core: %llu, cores: 4; override with "
+                "OBFUSMEM_BENCH_INSTRS)\n\n",
+                static_cast<unsigned long long>(
+                    instructionsPerCore()));
+}
+
+} // namespace bench
+} // namespace obfusmem
+
+#endif // OBFUSMEM_BENCH_COMMON_HH

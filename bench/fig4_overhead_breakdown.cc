@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 4: execution-time overhead of increasing levels
+ * of protection, normalized to the unprotected system - memory
+ * encryption only, plain ObfusMem, and ObfusMem with authenticated
+ * communication.
+ *
+ * Paper reference averages: 2.2% / 8.3% / 10.9% (Observation 5:
+ * roughly a quarter of the overhead is memory encryption, and
+ * authentication adds only slightly because it overlaps encryption).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::bench;
+
+int
+main()
+{
+    printHeader("Figure 4: overhead breakdown by protection level");
+
+    std::printf("%-12s %12s %12s %14s\n", "Benchmark", "EncOnly%",
+                "ObfusMem%", "ObfusMem+Auth%");
+    std::printf("%.*s\n", 54,
+                "----------------------------------------------------"
+                "--");
+
+    double sum_enc = 0, sum_obfus = 0, sum_auth = 0;
+    int n = 0;
+    for (const std::string &name : benchmarkNames()) {
+        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
+        Tick enc =
+            run(ProtectionMode::EncryptionOnly, name).execTicks;
+        Tick obfus = run(ProtectionMode::ObfusMem, name).execTicks;
+        Tick auth =
+            run(ProtectionMode::ObfusMemAuth, name).execTicks;
+
+        double enc_pct = overheadPct(enc, base);
+        double obfus_pct = overheadPct(obfus, base);
+        double auth_pct = overheadPct(auth, base);
+        std::printf("%-12s %12.1f %12.1f %14.1f\n", name.c_str(),
+                    enc_pct, obfus_pct, auth_pct);
+        sum_enc += enc_pct;
+        sum_obfus += obfus_pct;
+        sum_auth += auth_pct;
+        ++n;
+    }
+
+    std::printf("%.*s\n", 54,
+                "----------------------------------------------------"
+                "--");
+    std::printf("%-12s %12.1f %12.1f %14.1f\n", "Avg", sum_enc / n,
+                sum_obfus / n, sum_auth / n);
+    std::printf("%-12s %12.1f %12.1f %14.1f   (paper)\n", "", 2.2,
+                8.3, 10.9);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces Table 4: the ORAM vs ObfusMem comparison. The
+ * quantitative rows (execution overhead, storage overhead, write
+ * amplification, deadlock) are measured from this repository's
+ * implementations; the qualitative rows are derived from the
+ * mechanisms exercised by the test suite.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "oram/path_oram.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::bench;
+
+int
+main()
+{
+    printHeader("Table 4: comparing ORAM and ObfusMem");
+
+    // --- Execution-time overhead (subset average for speed) --------
+    const char *probe_benchmarks[] = {"bwaves", "mcf", "milc",
+                                      "soplex", "sjeng", "hmmer"};
+    double oram_sum = 0, obfus_sum = 0;
+    int n = 0;
+    for (const char *name : probe_benchmarks) {
+        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
+        oram_sum += overheadPct(
+            run(ProtectionMode::OramFixed, name).execTicks, base);
+        obfus_sum += overheadPct(
+            run(ProtectionMode::ObfusMemAuth, name).execTicks, base);
+        ++n;
+    }
+
+    // --- Storage overhead -------------------------------------------
+    PathOram::Params oram_params;
+    oram_params.levels = 24;
+    PathOram oram_tree(oram_params);
+    double oram_storage =
+        100.0
+        * (static_cast<double>(oram_tree.physicalBlocks())
+               / oram_tree.capacityBlocks()
+           - 1.0);
+    SystemConfig cfg = makeConfig(ProtectionMode::ObfusMemAuth,
+                                  "milc", 8);
+    double obfus_storage = 100.0 * (8.0 * blockBytes)
+                           / cfg.capacityBytes;
+
+    // --- Write amplification ----------------------------------------
+    SystemConfig oram_cfg = makeConfig(ProtectionMode::OramFixed,
+                                       "milc");
+    System oram_sys(oram_cfg);
+    oram_sys.run();
+    double oram_amp =
+        static_cast<double>(oram_sys.oramFixed()->blocksWritten())
+        / oram_sys.oramFixed()->accessCount();
+
+    System obfus_sys(makeConfig(ProtectionMode::ObfusMemAuth, "milc"));
+    auto obfus_result = obfus_sys.run();
+    System base_sys(makeConfig(ProtectionMode::Unprotected, "milc"));
+    auto base_result = base_sys.run();
+    double obfus_amp =
+        base_result.cellWrites > 0
+            ? static_cast<double>(obfus_result.cellWrites)
+                  / base_result.cellWrites
+            : 1.0;
+
+    // --- Deadlock possibility ---------------------------------------
+    // Stress a small tree past its design point: Path ORAM's stash
+    // can overflow (reshuffling cannot proceed); ObfusMem has no
+    // analogous structure.
+    PathOram::Params stress;
+    stress.levels = 4;
+    stress.stashLimit = 8;
+    PathOram stressed(stress);
+    DataBlock d{};
+    for (int i = 0; i < 300; ++i)
+        stressed.write(i, d);
+    bool oram_can_deadlock = stressed.stashOverflows() > 0;
+
+    // --- Command authentication --------------------------------------
+    // ObfusMem's MAC detects tampering (exercised in the test suite);
+    // typical ORAM implementations carry no equivalent.
+    MacEngine mac(MacEngine::Params{});
+    WireHeader hdr;
+    hdr.addr = 0x1000;
+    bool detects = !mac.verify(hdr, 1, mac.compute(hdr, 0));
+
+    std::printf("%-24s | %-22s | %-22s\n", "Aspect", "ORAM",
+                "ObfusMem");
+    std::printf("%.*s\n", 74,
+                "----------------------------------------------------"
+                "----------------------");
+    std::printf("%-24s | %-22s | %-22s\n", "Spatial pattern", "Full",
+                "Full (AES-CTR addr)");
+    std::printf("%-24s | %-22s | %-22s\n", "Temporal pattern", "Full",
+                "Full (fresh pads)");
+    std::printf("%-24s | %-22s | %-22s\n", "Read vs write",
+                "Full (uniform paths)", "Full (dummy pairing)");
+    std::printf("%-24s | %-22s | %-22s\n", "Command authentication",
+                "No", detects ? "Yes (MAC verified)" : "BROKEN");
+    std::printf("%-24s | %-22s | %-22s\n", "TCB", "Proc only",
+                "Proc+Mem");
+    std::printf("%-24s | %17.0f%%    | %17.1f%%\n",
+                "Exe time overheads", oram_sum / n, obfus_sum / n);
+    std::printf("%-24s | %17.0f%%    | %17.4f%%\n",
+                "Storage overheads", oram_storage, obfus_storage);
+    std::printf("%-24s | %16.0fx    | %16.2fx\n",
+                "Write amplification", oram_amp, obfus_amp);
+    std::printf("%-24s | %-22s | %-22s\n", "Deadlock possibility",
+                oram_can_deadlock ? "Low (stash overflow)" : "None",
+                "Zero (no reshuffling)");
+    std::printf("%-24s | %-22s | %-22s\n", "Component upgrade",
+                "Easy", "Harder (spare keys)");
+    std::printf("\nPaper row values: 946%% vs 11%% overhead, 100%% vs "
+                "0%% storage,\n~100x vs none write amplification.\n");
+    return 0;
+}

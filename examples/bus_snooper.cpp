@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The attacker's perspective: run the same workload on an
+ * unprotected, an encryption-only, and an ObfusMem-protected system,
+ * and print what a passive probe on the memory-channel wires can
+ * extract in each case (paper Secs. 2.3 and 6.1).
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "system/system.hh"
+
+using namespace obfusmem;
+
+namespace {
+
+void
+snoop(ProtectionMode mode)
+{
+    SystemConfig cfg;
+    cfg.mode = mode;
+    cfg.benchmark = "milc";
+    cfg.instrPerCore = 60 * 1000;
+    cfg.channels = 4;
+    System sys(cfg);
+    sys.run();
+
+    // A victim routine with temporal reuse: fetch-then-writeback of
+    // the same blocks puts each address on the wire twice (unless
+    // the wire is obfuscated).
+    for (int i = 0; i < 32; ++i) {
+        DataBlock secret;
+        secret.fill(static_cast<uint8_t>(i));
+        sys.timedStore(0, 0x30000000 + i * 64ull, secret, [](Tick) {});
+    }
+    sys.eventQueue().run();
+    sys.flushAndDrain();
+
+    const BusObserver &obs = *sys.observer();
+    std::cout << "--- " << protectionModeName(mode) << " ---\n";
+    std::cout << std::fixed << std::setprecision(3);
+    std::cout << "  request messages seen      : "
+              << obs.requestMessages() << "\n";
+    std::cout << "  distinct wire addresses    : "
+              << obs.distinctWireAddrs() << "\n";
+    std::cout << "  address reuse fraction     : "
+              << obs.addrReuseFraction()
+              << (obs.addrReuseFraction() > 0.01
+                      ? "   <- temporal pattern leaks"
+                      : "   (no temporal signal)")
+              << "\n";
+    std::cout << "  hottest address seen       : "
+              << obs.hottestAddrCount() << "x"
+              << (obs.hottestAddrCount() > 2
+                      ? "   <- dictionary-attack handle"
+                      : "")
+              << "\n";
+    std::cout << "  read/write imbalance       : "
+              << obs.typeImbalance()
+              << (obs.typeImbalance() < 0.01
+                      ? "   (perfect read-then-write pairs)"
+                      : "   <- request types leak")
+              << "\n";
+    std::cout << "  solo-channel time buckets  : "
+              << obs.soloBucketFraction()
+              << (obs.soloBucketFraction() > 0.03
+                      ? "   <- inter-channel pattern leaks"
+                      : "   (channels indistinguishable)")
+              << "\n";
+    std::cout << "  bytes to memory / to proc  : "
+              << obs.bytesToMemory() << " / " << obs.bytesToProcessor()
+              << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "A passive attacker probes all four memory channels "
+                 "while milc runs.\n\n";
+    snoop(ProtectionMode::Unprotected);
+    snoop(ProtectionMode::EncryptionOnly);
+    snoop(ProtectionMode::ObfusMemAuth);
+
+    std::cout << "Summary: encryption alone hides data but not the "
+                 "access pattern; ObfusMem\nmakes addresses, types, "
+                 "reuse and channel activity statistically "
+                 "featureless.\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Walks through the ObfusMem trust architecture (paper Sec. 3.1):
+ * manufacturing components with burned-in keys, the three
+ * bootstrapping approaches, a man-in-the-middle attack during boot,
+ * session-key establishment, and a component upgrade.
+ */
+
+#include <iostream>
+
+#include "crypto/bytes.hh"
+#include "trust/boot.hh"
+#include "util/random.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::trust;
+
+namespace {
+
+void
+report(const std::string &what, const BootResult &result)
+{
+    std::cout << "  " << what << ": "
+              << (result.success ? "ESTABLISHED" : "REJECTED");
+    if (!result.success)
+        std::cout << " (" << result.failureReason << ")";
+    if (result.attackerHoldsKeys)
+        std::cout << "  ** ATTACKER HOLDS SESSION KEYS **";
+    std::cout << "\n";
+    if (result.success && !result.channelKeys.empty()) {
+        std::cout << "    channel 0 session key: "
+                  << crypto::toHex(result.channelKeys[0]) << "\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    Random rng(2024);
+
+    std::cout << "=== Manufacturing ===\n";
+    Manufacturer proc_maker("ProcCorp", 256, rng);
+    Manufacturer mem_maker("MemCorp", 256, rng);
+    Component proc("cpu0", proc_maker, 256, true, rng);
+    Component mem("hbm0", mem_maker, 256, true, rng);
+    std::cout << "  cpu0 device key burned by ProcCorp; certificate "
+              << (proc.certificate().verify(proc_maker.caPublicKey())
+                      ? "verifies"
+                      : "BROKEN")
+              << "\n";
+    std::cout << "  hbm0 device key burned by MemCorp;  certificate "
+              << (mem.certificate().verify(mem_maker.caPublicKey())
+                      ? "verifies"
+                      : "BROKEN")
+              << "\n\n";
+
+    std::cout << "=== Approach 1: naive key exchange in the clear "
+                 "===\n";
+    report("honest boot",
+           BootProtocol::run(BootApproach::Naive, proc, mem, 2, rng));
+    MitmAttacker mitm(rng);
+    report("boot with bus MITM",
+           BootProtocol::run(BootApproach::Naive, proc, mem, 2, rng,
+                             &mitm));
+    std::cout << "  -> the paper rejects this approach: the attack "
+                 "succeeds silently.\n\n";
+
+    std::cout << "=== Approach 2: trusted system integrator ===\n";
+    report("boot before key provisioning",
+           BootProtocol::run(BootApproach::TrustedIntegrator, proc,
+                             mem, 2, rng));
+    proc.peerKeys().burn(mem.publicKey());
+    mem.peerKeys().burn(proc.publicKey());
+    report("boot after provisioning",
+           BootProtocol::run(BootApproach::TrustedIntegrator, proc,
+                             mem, 2, rng));
+    report("boot with bus MITM",
+           BootProtocol::run(BootApproach::TrustedIntegrator, proc,
+                             mem, 2, rng, &mitm));
+    std::cout << "\n";
+
+    std::cout << "=== Approach 3: untrusted integrator + attestation "
+                 "===\n";
+    report("boot with attestation",
+           BootProtocol::run(BootApproach::UntrustedIntegrator, proc,
+                             mem, 2, rng));
+    // A malicious integrator burns an impostor's key.
+    Component impostor("evil-hbm", mem_maker, 256, true, rng);
+    Component victim("cpu1", proc_maker, 256, true, rng);
+    victim.peerKeys().burn(impostor.publicKey());
+    mem.peerKeys().burn(victim.publicKey());
+    report("boot with maliciously burned key",
+           BootProtocol::run(BootApproach::UntrustedIntegrator,
+                             victim, mem, 2, rng));
+    std::cout << "\n";
+
+    std::cout << "=== Reboot -> fresh session keys ===\n";
+    BootResult first = BootProtocol::run(
+        BootApproach::TrustedIntegrator, proc, mem, 1, rng);
+    BootResult second = BootProtocol::run(
+        BootApproach::TrustedIntegrator, proc, mem, 1, rng);
+    std::cout << "  keys differ across reboots: "
+              << (first.channelKeys[0] != second.channelKeys[0]
+                      ? "yes"
+                      : "NO (bug!)")
+              << "\n\n";
+
+    std::cout << "=== Component upgrade via spare registers ===\n";
+    Component new_mem("hbm1", mem_maker, 256, true, rng);
+    bool burned = BootProtocol::upgradeComponent(proc, new_mem);
+    new_mem.peerKeys().burn(proc.publicKey());
+    std::cout << "  spare slot burned: " << (burned ? "yes" : "no")
+              << ", slots free on cpu0: "
+              << proc.peerKeys().slotsFree() << "\n";
+    report("boot with upgraded memory",
+           BootProtocol::run(BootApproach::TrustedIntegrator, proc,
+                             new_mem, 2, rng));
+    return 0;
+}

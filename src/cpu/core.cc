@@ -1,0 +1,203 @@
+/**
+ * @file
+ * TraceCore implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+TraceCore::TraceCore(const std::string &name, EventQueue &eq,
+                     statistics::Group *parent, const Params &params_,
+                     WorkloadGenerator generator,
+                     CacheHierarchy &hierarchy_, int core_id,
+                     uint64_t instr_target,
+                     std::function<void(Tick)> on_done)
+    : SimObject(name, eq, parent), params(params_),
+      gen(std::move(generator)), hierarchy(hierarchy_),
+      coreId(core_id), target(instr_target), onDone(std::move(on_done)),
+      dataRng(0xace0fba5eULL + core_id)
+{
+    cpiTicks = static_cast<Tick>(
+        std::llround(gen.profile().baseCpi * params.period));
+    if (cpiTicks == 0)
+        cpiTicks = 1;
+
+    stats().addScalar("loads", &loadsIssued, "loads issued");
+    stats().addScalar("stores", &storesIssued, "stores issued");
+    stats().addScalar("robStallTicks", &robStallTicks,
+                      "ticks stalled with a full ROB window");
+    stats().addScalar("depStallTicks", &depStallTicks,
+                      "ticks stalled on dependent loads");
+}
+
+void
+TraceCore::start()
+{
+    eventQueue().schedule(curTick(), [this]() { tryAdvance(); });
+}
+
+double
+TraceCore::ipc() const
+{
+    if (!isFinished || finishedAt == 0)
+        return 0.0;
+    double cycles = static_cast<double>(finishedAt) / params.period;
+    return static_cast<double>(pos) / cycles;
+}
+
+void
+TraceCore::issueLoad(const MemOp &op)
+{
+    ++loadsIssued;
+    ++loadsInFlight;
+    loads.push_back({pos, nextLoadSeq++, false, 0});
+    LoadSlot *slot = &loads.back();
+    if (op.stream) {
+        // Pointer chases serialize on the previous *stream* load;
+        // hot-set hits in between do not break the chain.
+        lastLoadSeq = slot->seq;
+        lastLoadDone = false;
+    }
+    hierarchy.load(coreId, op.addr, frontier, [this, slot](Tick done) {
+        slot->done = true;
+        slot->completeTick = done;
+        --loadsInFlight;
+        maxLoadComplete = std::max(maxLoadComplete, done);
+        if (slot->seq == lastLoadSeq) {
+            lastLoadDone = true;
+            lastLoadReady = done;
+        }
+        tryAdvance();
+        maybeFinish();
+    });
+}
+
+void
+TraceCore::issueStore(const MemOp &op, bool was_miss)
+{
+    ++storesIssued;
+    ++outstandingStores;
+    DataBlock data;
+    dataRng.fillBytes(data.data(), data.size());
+    hierarchy.store(coreId, op.addr, data, frontier,
+        [this, was_miss](Tick done) {
+            --outstandingStores;
+            if (was_miss)
+                storeMissInFlight = false;
+            lastStoreComplete = std::max(lastStoreComplete, done);
+            tryAdvance();
+            maybeFinish();
+        });
+}
+
+void
+TraceCore::tryAdvance()
+{
+    if (advancing || isFinished)
+        return;
+    advancing = true;
+
+    for (;;) {
+        if (pos >= target)
+            break; // instruction budget exhausted
+
+        // Retire completed head loads, freeing ROB window space. If
+        // the window was full when the head completed, the frontier
+        // stalls until that completion time.
+        while (!loads.empty() && loads.front().done) {
+            bool window_full =
+                pos - loads.front().pos >= params.robSize;
+            if (window_full
+                && loads.front().completeTick > frontier) {
+                robStallTicks +=
+                    loads.front().completeTick - frontier;
+                frontier = loads.front().completeTick;
+            }
+            loads.pop_front();
+        }
+
+        uint64_t head_pos = loads.empty() ? pos : loads.front().pos;
+        uint64_t headroom = params.robSize - (pos - head_pos);
+
+        if (headroom == 0) {
+            // Window full behind an incomplete load: wait for it.
+            break; // completion callback will resume us
+        }
+
+        if (gapRemaining > 0) {
+            uint64_t n = std::min<uint64_t>(gapRemaining, headroom);
+            n = std::min(n, target - pos);
+            pos += n;
+            frontier += n * cpiTicks;
+            gapRemaining -= static_cast<uint32_t>(n);
+            continue;
+        }
+
+        if (!havePendingOp) {
+            pendingOp = gen.next();
+            gapRemaining = pendingOp.gapInstrs;
+            havePendingOp = true;
+            continue;
+        }
+
+        // A memory operation is ready to issue.
+        if (pendingOp.dependent) {
+            if (!lastLoadDone)
+                break; // address depends on an in-flight load
+            if (lastLoadReady > frontier) {
+                depStallTicks += lastLoadReady - frontier;
+                frontier = lastLoadReady;
+            }
+        }
+
+        if (pendingOp.isStore) {
+            if (outstandingStores >= params.maxOutstandingStores)
+                break; // write buffer full
+            // The store buffer drains in order: a missing store
+            // blocks its head, so at most one store miss is in
+            // flight; a second one stalls the core (full buffer).
+            bool miss = params.serializeStoreMisses
+                        && hierarchy.wouldMiss(coreId,
+                                               pendingOp.addr);
+            if (miss) {
+                if (storeMissInFlight)
+                    break; // wake on its completion
+                storeMissInFlight = true;
+            }
+            issueStore(pendingOp, miss);
+        } else {
+            if (loadsInFlight >= params.maxOutstandingLoads)
+                break; // MSHR/LSQ limit
+            issueLoad(pendingOp);
+        }
+        havePendingOp = false;
+        pos += 1;
+        frontier += cpiTicks;
+    }
+
+    advancing = false;
+    maybeFinish();
+}
+
+void
+TraceCore::maybeFinish()
+{
+    if (isFinished || pos < target || outstandingStores > 0
+        || loadsInFlight > 0) {
+        return;
+    }
+    loads.clear();
+    isFinished = true;
+    finishedAt = std::max({frontier, maxLoadComplete,
+                           lastStoreComplete});
+    if (onDone)
+        onDone(finishedAt);
+}
+
+} // namespace obfusmem

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace replay: run the simulator on a recorded memory-operation
+ * trace instead of a synthetic generator. The text format is one
+ * operation per line:
+ *
+ *     <gap-instructions> <R|W> <hex-address> [D] [S]
+ *
+ * where D marks a dependent (pointer-chase) load and S marks a
+ * streaming (expected-cold) access. '#' starts a comment.
+ */
+
+#ifndef OBFUSMEM_CPU_TRACE_WORKLOAD_HH
+#define OBFUSMEM_CPU_TRACE_WORKLOAD_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/workload.hh"
+
+namespace obfusmem {
+
+/** Parse a trace from a stream; fatal on malformed lines. */
+std::vector<MemOp> parseTrace(std::istream &in);
+
+/** Load a trace file from disk. */
+std::vector<MemOp> loadTraceFile(const std::string &path);
+
+/** Serialize operations in the trace text format. */
+void writeTrace(std::ostream &out, const std::vector<MemOp> &ops);
+
+/**
+ * Build a WorkloadGenerator-compatible replayer: the returned
+ * generator yields the trace's operations in order, looping when it
+ * reaches the end.
+ *
+ * @param ops The recorded operations (must be non-empty).
+ * @param base_cpi Non-memory CPI to charge per instruction.
+ */
+WorkloadGenerator makeTraceReplayer(std::vector<MemOp> ops,
+                                    double base_cpi = 1.0);
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CPU_TRACE_WORKLOAD_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Benchmark profiles and the address-stream generator.
+ *
+ * The baseCpi values below were calibrated against this repository's
+ * own unprotected-system simulation so that measured IPC/MPKI/gap land
+ * near the paper's Table 1 (see bench/table1_characteristics).
+ */
+
+#include "cpu/workload.hh"
+
+#include <algorithm>
+
+#include "mem/packet.hh"
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+namespace {
+
+constexpr uint64_t KB = 1024;
+constexpr uint64_t MB = 1024 * KB;
+
+std::vector<BenchmarkProfile>
+makeProfiles()
+{
+    // name, refs/KI, streamFrac, hotBytes, depFrac, storeFrac,
+    // baseCpi, streamBytes, paper{IPC, MPKI, gap}.
+    std::vector<BenchmarkProfile> v;
+    auto add = [&v](const std::string &name, double mpki, double dep,
+                    double store, double base_cpi, double ipc,
+                    double gap, uint64_t hot = 96 * KB,
+                    double refs_ki = 350.0,
+                    uint64_t stream = 256 * MB) {
+        BenchmarkProfile p;
+        p.name = name;
+        p.memRefsPerKI = refs_ki;
+        p.streamFraction = mpki / refs_ki;
+        p.hotBytes = hot;
+        p.dependentFraction = dep;
+        p.storeFraction = store;
+        p.baseCpi = base_cpi;
+        p.streamBytes = stream;
+        p.paperIpc = ipc;
+        p.paperMpki = mpki;
+        p.paperGapNs = gap;
+        v.push_back(p);
+    };
+
+    add("bwaves", 18.23, 0.00, 0.35, 0.716, 0.59, 44.32);
+    add("mcf", 24.82, 0.85, 0.50, 2.765, 0.17, 74.95);
+    add("lbm", 6.94, 0.05, 0.85, 2.820, 0.35, 67.97);
+    add("zeus", 4.81, 0.10, 0.80, 1.778, 0.53, 63.56);
+    add("milc", 15.56, 0.20, 0.60, 1.584, 0.42, 51.54);
+    add("xalan", 0.97, 0.30, 0.30, 1.882, 0.52, 945.62);
+    add("omnetpp", 0.10, 0.20, 0.30, 0.211, 4.30, 1104.74);
+    add("soplex", 23.11, 0.50, 0.30, 1.476, 0.25, 69.06);
+    add("libquantum", 5.56, 0.00, 0.75, 3.022, 0.33, 146.82);
+    add("sjeng", 0.36, 0.30, 0.30, 1.028, 0.95, 1382.13);
+    add("leslie3d", 9.85, 0.10, 0.60, 1.552, 0.49, 58.91);
+    add("astar", 0.13, 0.50, 0.30, 1.423, 0.70, 5660.18);
+    add("hmmer", 0.02, 0.00, 0.30, 0.716, 1.39, 2687.60);
+    add("cactus", 1.91, 0.10, 0.70, 0.824, 1.05, 128.09);
+    add("gems", 11.66, 0.20, 0.50, 1.877, 0.40, 66.25);
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+BenchmarkProfile::spec2006()
+{
+    static const std::vector<BenchmarkProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+BenchmarkProfile::byName(const std::string &name)
+{
+    for (const auto &p : spec2006()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark profile: ", name);
+}
+
+WorkloadGenerator::WorkloadGenerator(const BenchmarkProfile &profile,
+                                     uint64_t region_base,
+                                     uint64_t region_bytes,
+                                     uint64_t seed)
+    : prof(profile), rng(seed)
+{
+    fatal_if(prof.hotBytes + prof.streamBytes > region_bytes,
+             "workload footprint exceeds the core's region");
+    hotBase = region_base;
+    streamBase = region_base + prof.hotBytes;
+    streamLimit = prof.streamBytes;
+    // The memory operation itself is one instruction; the gap covers
+    // the rest, so that refs-per-KI comes out as configured.
+    meanGap = std::max(1.0, 1000.0 / prof.memRefsPerKI - 1.0);
+    // Start each core at a random offset so cores do not march in
+    // lock step through their stream regions.
+    streamPos = rng.randUnder(streamLimit / blockBytes);
+}
+
+WorkloadGenerator::WorkloadGenerator(std::vector<MemOp> ops,
+                                     double base_cpi)
+    : replayOps(std::move(ops))
+{
+    fatal_if(replayOps.empty(), "empty trace");
+    prof.name = "trace-replay";
+    prof.baseCpi = base_cpi;
+    prof.memRefsPerKI = 0;
+    prof.streamFraction = 0;
+    prof.hotBytes = 0;
+    prof.dependentFraction = 0;
+    prof.storeFraction = 0;
+    prof.streamBytes = 1;
+    prof.paperIpc = prof.paperMpki = prof.paperGapNs = 0;
+}
+
+WorkloadGenerator
+WorkloadGenerator::fromTrace(std::vector<MemOp> ops, double base_cpi)
+{
+    return WorkloadGenerator(std::move(ops), base_cpi);
+}
+
+MemOp
+WorkloadGenerator::next()
+{
+    if (!replayOps.empty()) {
+        MemOp op = replayOps[replayPos];
+        replayPos = (replayPos + 1) % replayOps.size();
+        return op;
+    }
+
+    MemOp op;
+    op.gapInstrs =
+        static_cast<uint32_t>(rng.geometric(meanGap));
+    op.isStore = rng.chance(prof.storeFraction);
+    op.dependent = false;
+    op.stream = false;
+
+    if (rng.chance(prof.streamFraction)) {
+        op.stream = true;
+        op.dependent = rng.chance(prof.dependentFraction);
+        if (op.dependent) {
+            // Pointer chase: a serial chain of jumps to cold blocks
+            // inside a window sliding with the stream (page-level
+            // locality, like mcf's list walks).
+            uint64_t window_blocks =
+                std::min(prof.chaseWindowBytes / blockBytes,
+                         streamLimit / blockBytes);
+            uint64_t block = (streamPos
+                              + rng.randUnder(window_blocks))
+                             % (streamLimit / blockBytes);
+            op.addr = streamBase + block * blockBytes;
+        } else {
+            // Cold streaming access: walks the region a block at a
+            // time, touching a new LLC block each time.
+            op.addr = streamBase + streamPos * blockBytes;
+            streamPos = (streamPos + 1) % (streamLimit / blockBytes);
+        }
+    } else {
+        // Hot-set access: cache resident after warm-up.
+        uint64_t block = rng.randUnder(prof.hotBytes / blockBytes);
+        op.addr = hotBase + block * blockBytes;
+    }
+    return op;
+}
+
+} // namespace obfusmem

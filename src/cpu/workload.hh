@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Synthetic workload generation calibrated to the paper's Table 1.
+ *
+ * The paper evaluates 15 SPEC CPU2006 benchmarks characterized by IPC,
+ * LLC MPKI and the average gap between memory requests. We cannot run
+ * SPEC binaries, so each benchmark becomes a parameterized address-
+ * stream generator whose *unprotected* simulation lands near those
+ * characteristics; the protection overheads then emerge from the same
+ * mechanisms as in the paper (see DESIGN.md, substitutions).
+ */
+
+#ifndef OBFUSMEM_CPU_WORKLOAD_HH
+#define OBFUSMEM_CPU_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace obfusmem {
+
+/**
+ * Calibration parameters for one synthetic benchmark.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Memory references per kilo-instruction (reaching L1). */
+    double memRefsPerKI;
+    /** Fraction of references that stream through a huge region. */
+    double streamFraction;
+    /** Hot (cache-resident) working-set size in bytes. */
+    uint64_t hotBytes;
+    /** Fraction of streaming loads that are dependent (ptr-chase). */
+    double dependentFraction;
+    /** Fraction of references that are stores. */
+    double storeFraction;
+    /** Non-memory CPI (cycles per instruction when never missing). */
+    double baseCpi;
+    /** Size of the streamed (cold) region in bytes. */
+    uint64_t streamBytes;
+    /**
+     * Window around the stream position that pointer chases jump
+     * within: real chases (mcf's lists) have page-level locality, so
+     * the counter cache retains some effectiveness.
+     */
+    uint64_t chaseWindowBytes = 32 * 1024 * 1024;
+
+    /** Table 1 reference values, for reporting alongside measured. */
+    double paperIpc;
+    double paperMpki;
+    double paperGapNs;
+
+    /** The 15 profiles of Table 1. */
+    static const std::vector<BenchmarkProfile> &spec2006();
+
+    /** Find a profile by name (fatal if unknown). */
+    static const BenchmarkProfile &byName(const std::string &name);
+};
+
+/** One generated memory operation. */
+struct MemOp
+{
+    /** Non-memory instructions preceding this operation. */
+    uint32_t gapInstrs;
+    bool isStore;
+    /** Load depends on the previous *stream* load (pointer chase). */
+    bool dependent;
+    /** Cold streaming access (LLC-missing) vs hot-set access. */
+    bool stream;
+    uint64_t addr;
+};
+
+/**
+ * Deterministic address-stream generator for one core.
+ */
+class WorkloadGenerator
+{
+  public:
+    /**
+     * @param profile Benchmark calibration.
+     * @param region_base Start of this core's private address range.
+     * @param region_bytes Size of this core's private address range.
+     * @param seed RNG seed (vary per core).
+     */
+    WorkloadGenerator(const BenchmarkProfile &profile,
+                      uint64_t region_base, uint64_t region_bytes,
+                      uint64_t seed);
+
+    /**
+     * Build a replayer over a recorded trace (looping at the end)
+     * instead of a synthetic stream.
+     */
+    static WorkloadGenerator fromTrace(std::vector<MemOp> ops,
+                                       double base_cpi);
+
+    /** Produce the next memory operation. */
+    MemOp next();
+
+    const BenchmarkProfile &profile() const { return prof; }
+
+    /** Stream-region geometry (used for warm-up preloading). */
+    uint64_t streamRegionBase() const { return streamBase; }
+    uint64_t streamRegionBlocks() const
+    {
+        return streamLimit / 64;
+    }
+    /** Block index the stream starts from. */
+    uint64_t streamStartBlock() const { return streamPos; }
+
+  private:
+    /** Internal constructor for trace replay. */
+    WorkloadGenerator(std::vector<MemOp> ops, double base_cpi);
+
+    BenchmarkProfile prof;
+    uint64_t hotBase = 0;
+    uint64_t streamBase = 0;
+    uint64_t streamLimit = 1;
+    uint64_t streamPos = 0;
+    Random rng{1};
+    double meanGap = 1;
+
+    /** Replay state (empty when generating synthetically). */
+    std::vector<MemOp> replayOps;
+    size_t replayPos = 0;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CPU_WORKLOAD_HH

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * BigUint implementation: schoolbook arithmetic with Knuth Algorithm D
+ * division (TAOCP Vol. 2, 4.3.1).
+ */
+
+#include "crypto/bignum.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+void
+BigUint::trim()
+{
+    while (!limbs.empty() && limbs.back() == 0)
+        limbs.pop_back();
+}
+
+BigUint::BigUint(uint64_t v)
+{
+    if (v) {
+        limbs.push_back(static_cast<uint32_t>(v));
+        if (v >> 32)
+            limbs.push_back(static_cast<uint32_t>(v >> 32));
+    }
+}
+
+BigUint
+BigUint::fromHex(const std::string &hex)
+{
+    BigUint out;
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    for (char c : hex) {
+        if (c == ' ' || c == '\n' || c == '\t')
+            continue;
+        int v = nibble(c);
+        fatal_if(v < 0, "invalid hex digit '", c, "'");
+        // out = out * 16 + v
+        uint64_t carry = static_cast<uint64_t>(v);
+        for (auto &limb : out.limbs) {
+            uint64_t cur = (static_cast<uint64_t>(limb) << 4) | carry;
+            limb = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        if (carry)
+            out.limbs.push_back(static_cast<uint32_t>(carry));
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::fromBytes(const uint8_t *data, size_t len)
+{
+    BigUint out;
+    out.limbs.assign((len + 3) / 4, 0);
+    for (size_t i = 0; i < len; ++i) {
+        // data is big-endian; byte i has weight len-1-i.
+        size_t weight = len - 1 - i;
+        out.limbs[weight / 4] |=
+            static_cast<uint32_t>(data[i]) << (8 * (weight % 4));
+    }
+    out.trim();
+    return out;
+}
+
+std::string
+BigUint::toHex() const
+{
+    if (isZero())
+        return "0";
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    bool leading = true;
+    for (size_t i = limbs.size(); i-- > 0;) {
+        for (int shift = 28; shift >= 0; shift -= 4) {
+            int nib = (limbs[i] >> shift) & 0xf;
+            if (leading && nib == 0)
+                continue;
+            leading = false;
+            out.push_back(digits[nib]);
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+BigUint::toBytes(size_t pad_to) const
+{
+    size_t nbytes = (bitLength() + 7) / 8;
+    nbytes = std::max(nbytes, pad_to);
+    if (nbytes == 0)
+        nbytes = 1;
+    std::vector<uint8_t> out(nbytes, 0);
+    for (size_t weight = 0; weight < nbytes; ++weight) {
+        size_t limb = weight / 4;
+        if (limb >= limbs.size())
+            break;
+        out[nbytes - 1 - weight] =
+            static_cast<uint8_t>(limbs[limb] >> (8 * (weight % 4)));
+    }
+    return out;
+}
+
+size_t
+BigUint::bitLength() const
+{
+    if (limbs.empty())
+        return 0;
+    uint32_t top = limbs.back();
+    size_t bits = (limbs.size() - 1) * 32;
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool
+BigUint::bit(size_t i) const
+{
+    size_t limb = i / 32;
+    if (limb >= limbs.size())
+        return false;
+    return (limbs[limb] >> (i % 32)) & 1;
+}
+
+int
+BigUint::compare(const BigUint &o) const
+{
+    if (limbs.size() != o.limbs.size())
+        return limbs.size() < o.limbs.size() ? -1 : 1;
+    for (size_t i = limbs.size(); i-- > 0;) {
+        if (limbs[i] != o.limbs[i])
+            return limbs[i] < o.limbs[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUint
+BigUint::operator+(const BigUint &o) const
+{
+    BigUint out;
+    size_t n = std::max(limbs.size(), o.limbs.size());
+    out.limbs.resize(n);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = carry;
+        if (i < limbs.size())
+            sum += limbs[i];
+        if (i < o.limbs.size())
+            sum += o.limbs[i];
+        out.limbs[i] = static_cast<uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    if (carry)
+        out.limbs.push_back(static_cast<uint32_t>(carry));
+    return out;
+}
+
+BigUint
+BigUint::operator-(const BigUint &o) const
+{
+    panic_if(*this < o, "BigUint underflow in subtraction");
+    BigUint out;
+    out.limbs.resize(limbs.size());
+    int64_t borrow = 0;
+    for (size_t i = 0; i < limbs.size(); ++i) {
+        int64_t diff = static_cast<int64_t>(limbs[i]) - borrow;
+        if (i < o.limbs.size())
+            diff -= o.limbs[i];
+        if (diff < 0) {
+            diff += (int64_t{1} << 32);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs[i] = static_cast<uint32_t>(diff);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::operator*(const BigUint &o) const
+{
+    if (isZero() || o.isZero())
+        return BigUint();
+    BigUint out;
+    out.limbs.assign(limbs.size() + o.limbs.size(), 0);
+    for (size_t i = 0; i < limbs.size(); ++i) {
+        uint64_t carry = 0;
+        uint64_t a = limbs[i];
+        for (size_t j = 0; j < o.limbs.size(); ++j) {
+            uint64_t cur = out.limbs[i + j] + a * o.limbs[j] + carry;
+            out.limbs[i + j] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        size_t k = i + o.limbs.size();
+        while (carry) {
+            uint64_t cur = out.limbs[k] + carry;
+            out.limbs[k] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::operator<<(size_t bits) const
+{
+    if (isZero())
+        return BigUint();
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    BigUint out;
+    out.limbs.assign(limbs.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < limbs.size(); ++i) {
+        uint64_t v = static_cast<uint64_t>(limbs[i]) << bit_shift;
+        out.limbs[i + limb_shift] |= static_cast<uint32_t>(v);
+        out.limbs[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::operator>>(size_t bits) const
+{
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    if (limb_shift >= limbs.size())
+        return BigUint();
+    BigUint out;
+    out.limbs.assign(limbs.size() - limb_shift, 0);
+    for (size_t i = 0; i < out.limbs.size(); ++i) {
+        uint64_t v = limbs[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs.size()) {
+            v |= static_cast<uint64_t>(limbs[i + limb_shift + 1])
+                 << (32 - bit_shift);
+        }
+        out.limbs[i] = static_cast<uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+std::pair<BigUint, BigUint>
+BigUint::divmod(const BigUint &divisor) const
+{
+    fatal_if(divisor.isZero(), "BigUint division by zero");
+
+    if (*this < divisor)
+        return {BigUint(), *this};
+
+    // Single-limb fast path.
+    if (divisor.limbs.size() == 1) {
+        uint64_t d = divisor.limbs[0];
+        BigUint q;
+        q.limbs.resize(limbs.size());
+        uint64_t rem = 0;
+        for (size_t i = limbs.size(); i-- > 0;) {
+            uint64_t cur = (rem << 32) | limbs[i];
+            q.limbs[i] = static_cast<uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        q.trim();
+        return {q, BigUint(rem)};
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top limb has its
+    // high bit set.
+    const size_t n = divisor.limbs.size();
+    unsigned shift = 0;
+    {
+        uint32_t top = divisor.limbs.back();
+        while (!(top & 0x80000000u)) {
+            top <<= 1;
+            ++shift;
+        }
+    }
+    BigUint u = *this << shift;
+    BigUint v = divisor << shift;
+    const size_t m = u.limbs.size() >= n ? u.limbs.size() - n : 0;
+    u.limbs.resize(u.limbs.size() + 1, 0); // extra high limb u[m+n]
+
+    BigUint q;
+    q.limbs.assign(m + 1, 0);
+
+    const uint64_t base = uint64_t{1} << 32;
+    const uint64_t v1 = v.limbs[n - 1];
+    const uint64_t v2 = v.limbs[n - 2];
+
+    for (size_t j = m + 1; j-- > 0;) {
+        // Estimate q_hat = (u[j+n]*b + u[j+n-1]) / v1.
+        uint64_t numerator =
+            (static_cast<uint64_t>(u.limbs[j + n]) << 32)
+            | u.limbs[j + n - 1];
+        uint64_t q_hat = numerator / v1;
+        uint64_t r_hat = numerator % v1;
+
+        while (q_hat >= base
+               || q_hat * v2 > ((r_hat << 32) | u.limbs[j + n - 2])) {
+            --q_hat;
+            r_hat += v1;
+            if (r_hat >= base)
+                break;
+        }
+
+        // Multiply-and-subtract: u[j..j+n] -= q_hat * v.
+        int64_t borrow = 0;
+        uint64_t carry = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t p = q_hat * v.limbs[i] + carry;
+            carry = p >> 32;
+            int64_t t = static_cast<int64_t>(u.limbs[i + j])
+                        - static_cast<int64_t>(p & 0xffffffffu) - borrow;
+            if (t < 0) {
+                t += static_cast<int64_t>(base);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u.limbs[i + j] = static_cast<uint32_t>(t);
+        }
+        int64_t t = static_cast<int64_t>(u.limbs[j + n])
+                    - static_cast<int64_t>(carry) - borrow;
+        if (t < 0) {
+            // q_hat was one too large: add back.
+            t += static_cast<int64_t>(base);
+            --q_hat;
+            uint64_t carry2 = 0;
+            for (size_t i = 0; i < n; ++i) {
+                uint64_t sum = static_cast<uint64_t>(u.limbs[i + j])
+                               + v.limbs[i] + carry2;
+                u.limbs[i + j] = static_cast<uint32_t>(sum);
+                carry2 = sum >> 32;
+            }
+            t += static_cast<int64_t>(carry2);
+            t &= static_cast<int64_t>(base - 1);
+        }
+        u.limbs[j + n] = static_cast<uint32_t>(t);
+        q.limbs[j] = static_cast<uint32_t>(q_hat);
+    }
+
+    q.trim();
+    u.limbs.resize(n);
+    u.trim();
+    BigUint r = u >> shift;
+    return {q, r};
+}
+
+BigUint
+BigUint::mulMod(const BigUint &b, const BigUint &m) const
+{
+    return ((*this) * b) % m;
+}
+
+BigUint
+BigUint::powMod(const BigUint &e, const BigUint &m) const
+{
+    fatal_if(m.isZero(), "powMod with zero modulus");
+    if (m == BigUint(1))
+        return BigUint();
+
+    BigUint result(1);
+    BigUint base = *this % m;
+    size_t nbits = e.bitLength();
+    for (size_t i = 0; i < nbits; ++i) {
+        if (e.bit(i))
+            result = result.mulMod(base, m);
+        base = base.mulMod(base, m);
+    }
+    return result;
+}
+
+BigUint
+BigUint::gcd(BigUint a, BigUint b)
+{
+    while (!b.isZero()) {
+        BigUint r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+BigUint
+BigUint::modInverse(const BigUint &a, const BigUint &m)
+{
+    // Extended Euclid, tracking coefficients with a sign flag since
+    // BigUint is unsigned.
+    BigUint old_r = a % m, r = m;
+    BigUint old_s(1), s(0);
+    bool old_s_neg = false, s_neg = false;
+
+    while (!r.isZero()) {
+        BigUint q = old_r / r;
+
+        BigUint new_r = old_r - q * r;
+        old_r = r;
+        r = new_r;
+
+        // new_s = old_s - q * s  (with signs)
+        BigUint qs = q * s;
+        BigUint new_s;
+        bool new_s_neg;
+        if (old_s_neg == s_neg) {
+            if (old_s >= qs) {
+                new_s = old_s - qs;
+                new_s_neg = old_s_neg;
+            } else {
+                new_s = qs - old_s;
+                new_s_neg = !old_s_neg;
+            }
+        } else {
+            new_s = old_s + qs;
+            new_s_neg = old_s_neg;
+        }
+        old_s = s;
+        old_s_neg = s_neg;
+        s = new_s;
+        s_neg = new_s_neg;
+    }
+
+    panic_if(old_r != BigUint(1), "modInverse: not invertible");
+    if (old_s_neg)
+        return m - (old_s % m);
+    return old_s % m;
+}
+
+BigUint
+BigUint::randomBelow(const BigUint &bound, Random &rng)
+{
+    panic_if(bound.isZero(), "randomBelow(0)");
+    size_t nbytes = (bound.bitLength() + 7) / 8;
+    std::vector<uint8_t> buf(nbytes);
+    for (;;) {
+        rng.fillBytes(buf.data(), buf.size());
+        BigUint candidate = fromBytes(buf.data(), buf.size());
+        if (candidate < bound)
+            return candidate;
+    }
+}
+
+BigUint
+BigUint::randomBits(size_t bits, Random &rng)
+{
+    panic_if(bits == 0, "randomBits(0)");
+    size_t nbytes = (bits + 7) / 8;
+    std::vector<uint8_t> buf(nbytes);
+    rng.fillBytes(buf.data(), buf.size());
+    // Clear excess high bits, then force the top bit.
+    unsigned excess = static_cast<unsigned>(nbytes * 8 - bits);
+    buf[0] &= static_cast<uint8_t>(0xff >> excess);
+    buf[0] |= static_cast<uint8_t>(0x80 >> excess);
+    return fromBytes(buf.data(), buf.size());
+}
+
+bool
+BigUint::isProbablePrime(const BigUint &n, Random &rng, int rounds)
+{
+    if (n < BigUint(2))
+        return false;
+    static const uint64_t small_primes[] = {2, 3, 5, 7, 11, 13, 17, 19,
+                                            23, 29, 31, 37};
+    for (uint64_t p : small_primes) {
+        BigUint bp(p);
+        if (n == bp)
+            return true;
+        if ((n % bp).isZero())
+            return false;
+    }
+
+    // Write n - 1 = d * 2^r.
+    BigUint n_minus_1 = n - BigUint(1);
+    BigUint d = n_minus_1;
+    size_t r = 0;
+    while (!d.isOdd()) {
+        d = d >> 1;
+        ++r;
+    }
+
+    for (int round = 0; round < rounds; ++round) {
+        BigUint a =
+            BigUint(2) + randomBelow(n - BigUint(4), rng);
+        BigUint x = a.powMod(d, n);
+        if (x == BigUint(1) || x == n_minus_1)
+            continue;
+        bool composite = true;
+        for (size_t i = 0; i + 1 < r; ++i) {
+            x = x.mulMod(x, n);
+            if (x == n_minus_1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+BigUint
+BigUint::generatePrime(size_t bits, Random &rng)
+{
+    panic_if(bits < 8, "prime too small");
+    for (;;) {
+        BigUint candidate = randomBits(bits, rng);
+        if (!candidate.isOdd())
+            candidate = candidate + BigUint(1);
+        if (isProbablePrime(candidate, rng))
+            return candidate;
+    }
+}
+
+uint64_t
+BigUint::toU64() const
+{
+    uint64_t v = 0;
+    if (limbs.size() > 1)
+        v = static_cast<uint64_t>(limbs[1]) << 32;
+    if (!limbs.empty())
+        v |= limbs[0];
+    return v;
+}
+
+} // namespace crypto
+} // namespace obfusmem

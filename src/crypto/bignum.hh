@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers for the public-key side of the
+ * trust architecture (Diffie-Hellman session keys, toy-RSA attestation
+ * signatures). Little-endian base-2^32 limbs; schoolbook multiply and
+ * Knuth Algorithm D division, which is ample for boot-time operations.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_BIGNUM_HH
+#define OBFUSMEM_CRYPTO_BIGNUM_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace obfusmem {
+
+class Random;
+
+namespace crypto {
+
+/**
+ * Unsigned big integer.
+ */
+class BigUint
+{
+  public:
+    BigUint() = default;
+    /* implicit */ BigUint(uint64_t v);
+
+    /** Parse from hex (no 0x prefix required). */
+    static BigUint fromHex(const std::string &hex);
+    /** Parse from big-endian bytes. */
+    static BigUint fromBytes(const uint8_t *data, size_t len);
+
+    std::string toHex() const;
+    /** Big-endian byte serialization, minimal length (or padded). */
+    std::vector<uint8_t> toBytes(size_t pad_to = 0) const;
+
+    bool isZero() const { return limbs.empty(); }
+    bool isOdd() const { return !limbs.empty() && (limbs[0] & 1); }
+    /** Number of significant bits (0 for zero). */
+    size_t bitLength() const;
+    /** Value of bit i. */
+    bool bit(size_t i) const;
+
+    int compare(const BigUint &o) const;
+    bool operator==(const BigUint &o) const { return compare(o) == 0; }
+    bool operator!=(const BigUint &o) const { return compare(o) != 0; }
+    bool operator<(const BigUint &o) const { return compare(o) < 0; }
+    bool operator<=(const BigUint &o) const { return compare(o) <= 0; }
+    bool operator>(const BigUint &o) const { return compare(o) > 0; }
+    bool operator>=(const BigUint &o) const { return compare(o) >= 0; }
+
+    BigUint operator+(const BigUint &o) const;
+    /** Subtraction; panics on underflow (unsigned). */
+    BigUint operator-(const BigUint &o) const;
+    BigUint operator*(const BigUint &o) const;
+    BigUint operator<<(size_t bits) const;
+    BigUint operator>>(size_t bits) const;
+
+    /** Quotient and remainder in one pass: {quotient, remainder}. */
+    std::pair<BigUint, BigUint> divmod(const BigUint &divisor) const;
+    BigUint operator/(const BigUint &o) const { return divmod(o).first; }
+    BigUint operator%(const BigUint &o) const
+    {
+        return divmod(o).second;
+    }
+
+    /** (this * b) mod m. */
+    BigUint mulMod(const BigUint &b, const BigUint &m) const;
+    /** this^e mod m via square-and-multiply. */
+    BigUint powMod(const BigUint &e, const BigUint &m) const;
+
+    /** Greatest common divisor. */
+    static BigUint gcd(BigUint a, BigUint b);
+    /** Modular inverse of a mod m; panics if not invertible. */
+    static BigUint modInverse(const BigUint &a, const BigUint &m);
+
+    /** Uniform random value in [0, bound). */
+    static BigUint randomBelow(const BigUint &bound, Random &rng);
+    /** Random value with exactly `bits` bits (top bit set). */
+    static BigUint randomBits(size_t bits, Random &rng);
+
+    /** Miller-Rabin probable-prime test. */
+    static bool isProbablePrime(const BigUint &n, Random &rng,
+                                int rounds = 24);
+    /** Generate a probable prime with exactly `bits` bits. */
+    static BigUint generatePrime(size_t bits, Random &rng);
+
+    /** Low 64 bits of the value. */
+    uint64_t toU64() const;
+
+  private:
+    void trim();
+
+    /** Little-endian base-2^32 limbs; empty means zero. */
+    std::vector<uint32_t> limbs;
+};
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_BIGNUM_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Byte-buffer helpers shared by the crypto primitives.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_BYTES_HH
+#define OBFUSMEM_CRYPTO_BYTES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace obfusmem {
+namespace crypto {
+
+/** A 128-bit block, the unit of AES and of ObfusMem pads. */
+using Block128 = std::array<uint8_t, 16>;
+
+/** XOR two 128-bit blocks. */
+inline Block128
+xorBlocks(const Block128 &a, const Block128 &b)
+{
+    Block128 out;
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = a[i] ^ b[i];
+    return out;
+}
+
+/** XOR src into dst in place. */
+inline void
+xorInto(uint8_t *dst, const uint8_t *src, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        dst[i] ^= src[i];
+}
+
+/** Render a byte buffer as lowercase hex. */
+inline std::string
+toHex(const uint8_t *buf, size_t len)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(digits[buf[i] >> 4]);
+        out.push_back(digits[buf[i] & 0xf]);
+    }
+    return out;
+}
+
+/** Render a container of bytes as lowercase hex. */
+template <typename C>
+std::string
+toHex(const C &c)
+{
+    return toHex(c.data(), c.size());
+}
+
+/** Parse lowercase/uppercase hex into bytes. */
+std::vector<uint8_t> fromHex(const std::string &hex);
+
+inline std::vector<uint8_t>
+fromHex(const std::string &hex)
+{
+    auto nib = [](char c) -> uint8_t {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return c - 'A' + 10;
+    };
+    std::vector<uint8_t> out(hex.size() / 2);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = (nib(hex[2 * i]) << 4) | nib(hex[2 * i + 1]);
+    return out;
+}
+
+/** Store a 64-bit value little-endian. */
+inline void
+storeLe64(uint8_t *dst, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+/** Load a 64-bit little-endian value. */
+inline uint64_t
+loadLe64(const uint8_t *src)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | src[i];
+    return v;
+}
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_BYTES_HH

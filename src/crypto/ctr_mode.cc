@@ -1,0 +1,66 @@
+/**
+ * @file
+ * AES-CTR implementation.
+ */
+
+#include "crypto/ctr_mode.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+AesCtr::AesCtr(const Aes128::Key &key, uint64_t nonce)
+{
+    setKey(key, nonce);
+}
+
+void
+AesCtr::setKey(const Aes128::Key &key, uint64_t nonce_)
+{
+    aes.setKey(key);
+    nonce = nonce_;
+}
+
+Block128
+AesCtr::pad(uint64_t counter) const
+{
+    Block128 iv;
+    storeLe64(iv.data(), nonce);
+    storeLe64(iv.data() + 8, counter);
+    return aes.encryptBlock(iv);
+}
+
+uint64_t
+AesCtr::applyKeystream(uint8_t *buf, size_t len, uint64_t counter) const
+{
+    uint64_t used = 0;
+    size_t off = 0;
+    while (off < len) {
+        Block128 p = pad(counter + used);
+        ++used;
+        size_t n = std::min<size_t>(16, len - off);
+        xorInto(buf + off, p.data(), n);
+        off += n;
+    }
+    return used;
+}
+
+Block128
+MemoryEncryptionIv::pack() const
+{
+    Block128 iv;
+    storeLe64(iv.data(), pageId);
+    iv[8] = static_cast<uint8_t>(pageOffset);
+    iv[9] = static_cast<uint8_t>(pageOffset >> 8);
+    iv[10] = static_cast<uint8_t>(minorCounter);
+    iv[11] = static_cast<uint8_t>(minorCounter >> 8);
+    // 32 bits of the major counter fit in the remaining bytes; the
+    // major counter is per page and bumps only on minor overflow.
+    iv[12] = static_cast<uint8_t>(majorCounter);
+    iv[13] = static_cast<uint8_t>(majorCounter >> 8);
+    iv[14] = static_cast<uint8_t>(majorCounter >> 16);
+    iv[15] = static_cast<uint8_t>(majorCounter >> 24);
+    return iv;
+}
+
+} // namespace crypto
+} // namespace obfusmem

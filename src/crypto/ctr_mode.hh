@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AES counter-mode pad generation.
+ *
+ * Counter mode is central to ObfusMem for two reasons (paper Sec. 3.2):
+ * future counter values are known, so pads can be pre-generated off the
+ * critical path; and identical plaintext encrypts differently on every
+ * use, hiding temporal reuse of both addresses and data.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_CTR_MODE_HH
+#define OBFUSMEM_CRYPTO_CTR_MODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes128.hh"
+#include "crypto/bytes.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+/**
+ * AES-CTR keystream: pads are AES_K(nonce64 || counter64). The caller
+ * owns the counter discipline (ObfusMem advances it by six per request;
+ * the memory-encryption engine derives it from page/block counters).
+ */
+class AesCtr
+{
+  public:
+    AesCtr() = default;
+
+    /**
+     * @param key AES-128 key.
+     * @param nonce Domain-separation nonce in the IV's upper half.
+     */
+    AesCtr(const Aes128::Key &key, uint64_t nonce);
+
+    void setKey(const Aes128::Key &key, uint64_t nonce);
+
+    /** Generate the pad for one counter value. */
+    Block128 pad(uint64_t counter) const;
+
+    /**
+     * XOR consecutive pads [counter, counter + ceil(len/16)) over the
+     * buffer. Used for both encryption and decryption.
+     *
+     * @return Number of counter values (pads) consumed.
+     */
+    uint64_t applyKeystream(uint8_t *buf, size_t len,
+                            uint64_t counter) const;
+
+  private:
+    Aes128 aes;
+    uint64_t nonce = 0;
+};
+
+/**
+ * Initialization-vector layout for counter-mode *memory* encryption
+ * (paper Sec. 2.4 / Fig. 2): page ID, page offset, per-block minor
+ * counter and per-page major counter.
+ */
+struct MemoryEncryptionIv
+{
+    uint64_t pageId;
+    uint32_t pageOffset;
+    uint32_t minorCounter;
+    uint64_t majorCounter;
+
+    /** Pack the IV into a 128-bit block for AES. */
+    Block128 pack() const;
+};
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_CTR_MODE_HH

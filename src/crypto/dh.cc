@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Diffie-Hellman implementation.
+ */
+
+#include "crypto/dh.hh"
+
+#include "crypto/md5.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+const DhGroup &
+DhGroup::modp2048()
+{
+    // RFC 3526, group id 14.
+    static const DhGroup group = {
+        BigUint::fromHex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+            "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+            "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+            "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+            "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+            "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+            "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+            "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+            "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+            "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+            "15728E5A8AACAA68FFFFFFFFFFFFFFFF"),
+        BigUint(2),
+    };
+    return group;
+}
+
+const DhGroup &
+DhGroup::testGroup256()
+{
+    // p = 2^255 - 19 (the Curve25519 prime; primality re-checked by a
+    // unit test), g = 2. Small enough for fast tests.
+    static const DhGroup group = {
+        BigUint::fromHex(
+            "7fffffffffffffffffffffffffffffff"
+            "ffffffffffffffffffffffffffffffed"),
+        BigUint(2),
+    };
+    return group;
+}
+
+DhEndpoint::DhEndpoint(const DhGroup &group_, Random &rng)
+    : group(group_)
+{
+    // 256-bit exponents provide ~128-bit security in a 2048-bit group.
+    size_t exp_bits = std::min<size_t>(256, group.prime.bitLength() - 2);
+    privateExp = BigUint::randomBits(exp_bits, rng);
+    publicVal = group.generator.powMod(privateExp, group.prime);
+}
+
+BigUint
+DhEndpoint::computeShared(const BigUint &peer_public) const
+{
+    fatal_if(peer_public.isZero() || peer_public >= group.prime,
+             "DH peer public value out of range");
+    fatal_if(peer_public == BigUint(1),
+             "DH peer public value is degenerate");
+    return peer_public.powMod(privateExp, group.prime);
+}
+
+Aes128::Key
+DhEndpoint::deriveSessionKey(const BigUint &shared)
+{
+    std::vector<uint8_t> bytes = shared.toBytes();
+    Md5Digest d = Md5::digest(bytes.data(), bytes.size());
+    Aes128::Key key;
+    std::copy(d.begin(), d.end(), key.begin());
+    return key;
+}
+
+} // namespace crypto
+} // namespace obfusmem

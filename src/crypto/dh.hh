@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Diffie-Hellman key exchange over the RFC 3526 2048-bit MODP group.
+ *
+ * ObfusMem's trust architecture (paper Sec. 3.1) runs a DH exchange at
+ * BIOS time between the processor-side controller and each memory-side
+ * controller to derive a per-channel shared session key; all subsequent
+ * bus traffic uses symmetric AES-CTR under that key.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_DH_HH
+#define OBFUSMEM_CRYPTO_DH_HH
+
+#include "crypto/aes128.hh"
+#include "crypto/bignum.hh"
+
+namespace obfusmem {
+
+class Random;
+
+namespace crypto {
+
+/** Parameters of a DH group: prime modulus and generator. */
+struct DhGroup
+{
+    BigUint prime;
+    BigUint generator;
+
+    /** RFC 3526 group 14 (2048-bit MODP, generator 2). */
+    static const DhGroup &modp2048();
+    /** A small 256-bit safe-prime group for fast unit tests. */
+    static const DhGroup &testGroup256();
+};
+
+/**
+ * One endpoint of a DH exchange.
+ */
+class DhEndpoint
+{
+  public:
+    /**
+     * Draw a fresh private exponent and compute the public value.
+     *
+     * @param group DH group to use.
+     * @param rng Entropy source for the private exponent.
+     */
+    DhEndpoint(const DhGroup &group, Random &rng);
+
+    /** Public value g^x mod p to send to the peer. */
+    const BigUint &publicValue() const { return publicVal; }
+
+    /** Shared secret (peer_public)^x mod p. */
+    BigUint computeShared(const BigUint &peer_public) const;
+
+    /**
+     * Derive a 128-bit AES session key from the shared secret via MD5
+     * over the secret's byte serialization (a KDF stand-in).
+     */
+    static Aes128::Key deriveSessionKey(const BigUint &shared);
+
+  private:
+    const DhGroup &group;
+    BigUint privateExp;
+    BigUint publicVal;
+};
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_DH_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * HMAC implementation (RFC 2104), block size 64 for both hashes.
+ */
+
+#include "crypto/hmac.hh"
+
+#include <array>
+#include <cstring>
+
+namespace obfusmem {
+namespace crypto {
+
+namespace {
+
+constexpr size_t blockSize = 64;
+
+template <typename Ctx, typename Digest>
+Digest
+hmac(const uint8_t *key, size_t key_len, const uint8_t *msg,
+     size_t msg_len)
+{
+    std::array<uint8_t, blockSize> k{};
+    if (key_len > blockSize) {
+        Digest kd = Ctx::digest(key, key_len);
+        std::memcpy(k.data(), kd.data(), kd.size());
+    } else {
+        std::memcpy(k.data(), key, key_len);
+    }
+
+    std::array<uint8_t, blockSize> ipad, opad;
+    for (size_t i = 0; i < blockSize; ++i) {
+        ipad[i] = k[i] ^ 0x36;
+        opad[i] = k[i] ^ 0x5c;
+    }
+
+    Ctx inner;
+    inner.update(ipad.data(), ipad.size());
+    inner.update(msg, msg_len);
+    Digest inner_digest = inner.finalize();
+
+    Ctx outer;
+    outer.update(opad.data(), opad.size());
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finalize();
+}
+
+} // namespace
+
+Md5Digest
+hmacMd5(const uint8_t *key, size_t key_len, const uint8_t *msg,
+        size_t msg_len)
+{
+    return hmac<Md5, Md5Digest>(key, key_len, msg, msg_len);
+}
+
+Sha1Digest
+hmacSha1(const uint8_t *key, size_t key_len, const uint8_t *msg,
+         size_t msg_len)
+{
+    return hmac<Sha1, Sha1Digest>(key, key_len, msg, msg_len);
+}
+
+} // namespace crypto
+} // namespace obfusmem

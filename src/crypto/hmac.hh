@@ -1,0 +1,33 @@
+/**
+ * @file
+ * HMAC (RFC 2104) over MD5 or SHA-1. The trust-architecture layer uses
+ * HMAC for keyed authentication of the DH handshake transcripts; the
+ * per-request bus MAC uses the raw hash over (type|address|counter) as
+ * described in the paper, since the counter acts as the freshness/keyed
+ * element there.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_HMAC_HH
+#define OBFUSMEM_CRYPTO_HMAC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+/** HMAC-MD5 of msg under key. */
+Md5Digest hmacMd5(const uint8_t *key, size_t key_len,
+                  const uint8_t *msg, size_t msg_len);
+
+/** HMAC-SHA1 of msg under key. */
+Sha1Digest hmacSha1(const uint8_t *key, size_t key_len,
+                    const uint8_t *msg, size_t msg_len);
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_HMAC_HH

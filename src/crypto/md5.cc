@@ -1,0 +1,157 @@
+/**
+ * @file
+ * MD5 implementation following RFC 1321.
+ */
+
+#include "crypto/md5.hh"
+
+#include <cstring>
+
+namespace obfusmem {
+namespace crypto {
+
+namespace {
+
+const uint32_t kTable[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+    0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+    0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+    0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+const int shifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+uint32_t
+rotl32(uint32_t x, int s)
+{
+    return (x << s) | (x >> (32 - s));
+}
+
+} // namespace
+
+void
+Md5::reset()
+{
+    state = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+    totalLen = 0;
+    bufferLen = 0;
+}
+
+void
+Md5::update(const uint8_t *data, size_t len)
+{
+    totalLen += len;
+    while (len > 0) {
+        size_t take = std::min(len, buffer.size() - bufferLen);
+        std::memcpy(buffer.data() + bufferLen, data, take);
+        bufferLen += take;
+        data += take;
+        len -= take;
+        if (bufferLen == buffer.size()) {
+            processBlock(buffer.data());
+            bufferLen = 0;
+        }
+    }
+}
+
+Md5Digest
+Md5::finalize()
+{
+    uint64_t bit_len = totalLen * 8;
+    const uint8_t pad_byte = 0x80;
+    update(&pad_byte, 1);
+    const uint8_t zero = 0x00;
+    while (bufferLen != 56)
+        update(&zero, 1);
+
+    uint8_t len_le[8];
+    for (int i = 0; i < 8; ++i)
+        len_le[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+    // update() would recount these; append directly.
+    std::memcpy(buffer.data() + 56, len_le, 8);
+    processBlock(buffer.data());
+    bufferLen = 0;
+
+    Md5Digest out;
+    for (int w = 0; w < 4; ++w) {
+        for (int b = 0; b < 4; ++b)
+            out[4 * w + b] = static_cast<uint8_t>(state[w] >> (8 * b));
+    }
+    return out;
+}
+
+void
+Md5::processBlock(const uint8_t *block)
+{
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+        m[i] = static_cast<uint32_t>(block[4 * i])
+               | (static_cast<uint32_t>(block[4 * i + 1]) << 8)
+               | (static_cast<uint32_t>(block[4 * i + 2]) << 16)
+               | (static_cast<uint32_t>(block[4 * i + 3]) << 24);
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+
+    for (int i = 0; i < 64; ++i) {
+        uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl32(a + f + kTable[i] + m[g], shifts[i]);
+        a = tmp;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+}
+
+Md5Digest
+Md5::digest(const uint8_t *data, size_t len)
+{
+    Md5 ctx;
+    ctx.update(data, len);
+    return ctx.finalize();
+}
+
+Md5Digest
+Md5::digest(const std::string &s)
+{
+    return digest(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+} // namespace crypto
+} // namespace obfusmem

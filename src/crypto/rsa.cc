@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Textbook RSA implementation.
+ */
+
+#include "crypto/rsa.hh"
+
+#include "crypto/sha1.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+namespace {
+
+BigUint
+hashToInt(const uint8_t *msg, size_t len, const BigUint &modulus)
+{
+    Sha1Digest d = Sha1::digest(msg, len);
+    BigUint h = BigUint::fromBytes(d.data(), d.size());
+    return h % modulus;
+}
+
+} // namespace
+
+RsaKeyPair
+RsaKeyPair::generate(size_t bits, Random &rng)
+{
+    fatal_if(bits < 64, "RSA modulus too small");
+    const BigUint e(65537);
+
+    for (;;) {
+        BigUint p = BigUint::generatePrime(bits / 2, rng);
+        BigUint q = BigUint::generatePrime(bits - bits / 2, rng);
+        if (p == q)
+            continue;
+        BigUint n = p * q;
+        BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+        if (BigUint::gcd(e, phi) != BigUint(1))
+            continue;
+
+        RsaKeyPair kp;
+        kp.pub = {n, e};
+        kp.privateExp = BigUint::modInverse(e, phi);
+        return kp;
+    }
+}
+
+BigUint
+RsaKeyPair::sign(const uint8_t *msg, size_t len) const
+{
+    BigUint h = hashToInt(msg, len, pub.modulus);
+    return h.powMod(privateExp, pub.modulus);
+}
+
+bool
+RsaKeyPair::verify(const RsaPublicKey &key, const uint8_t *msg,
+                   size_t len, const BigUint &signature)
+{
+    BigUint h = hashToInt(msg, len, key.modulus);
+    return signature.powMod(key.exponent, key.modulus) == h;
+}
+
+} // namespace crypto
+} // namespace obfusmem

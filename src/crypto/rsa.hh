@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Textbook RSA signatures for the trust architecture.
+ *
+ * The paper's trust bootstrapping relies on manufacturer-burned
+ * public/private key pairs and (in the untrusted-integrator approach)
+ * signed measurements. We model those with hash-then-RSA signatures.
+ * This is deliberately *textbook* RSA (no OAEP/PSS padding): it models
+ * the protocol structure, not a production signature scheme, and key
+ * sizes are configurable so tests stay fast.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_RSA_HH
+#define OBFUSMEM_CRYPTO_RSA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.hh"
+
+namespace obfusmem {
+
+class Random;
+
+namespace crypto {
+
+/** RSA public key (n, e). */
+struct RsaPublicKey
+{
+    BigUint modulus;
+    BigUint exponent;
+
+    bool operator==(const RsaPublicKey &o) const
+    {
+        return modulus == o.modulus && exponent == o.exponent;
+    }
+};
+
+/** RSA key pair. */
+class RsaKeyPair
+{
+  public:
+    /**
+     * Generate a key pair with a modulus of roughly `bits` bits.
+     * e = 65537.
+     */
+    static RsaKeyPair generate(size_t bits, Random &rng);
+
+    const RsaPublicKey &publicKey() const { return pub; }
+
+    /** Sign SHA-1(message): returns sig = H(m)^d mod n. */
+    BigUint sign(const uint8_t *msg, size_t len) const;
+
+    /** Verify a signature against a public key. */
+    static bool verify(const RsaPublicKey &key, const uint8_t *msg,
+                       size_t len, const BigUint &signature);
+
+  private:
+    RsaPublicKey pub;
+    BigUint privateExp;
+};
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_RSA_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SHA-1 implementation following RFC 3174.
+ */
+
+#include "crypto/sha1.hh"
+
+#include <cstring>
+
+namespace obfusmem {
+namespace crypto {
+
+namespace {
+
+uint32_t
+rotl32(uint32_t x, int s)
+{
+    return (x << s) | (x >> (32 - s));
+}
+
+} // namespace
+
+void
+Sha1::reset()
+{
+    state = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u,
+             0xc3d2e1f0u};
+    totalLen = 0;
+    bufferLen = 0;
+}
+
+void
+Sha1::update(const uint8_t *data, size_t len)
+{
+    totalLen += len;
+    while (len > 0) {
+        size_t take = std::min(len, buffer.size() - bufferLen);
+        std::memcpy(buffer.data() + bufferLen, data, take);
+        bufferLen += take;
+        data += take;
+        len -= take;
+        if (bufferLen == buffer.size()) {
+            processBlock(buffer.data());
+            bufferLen = 0;
+        }
+    }
+}
+
+Sha1Digest
+Sha1::finalize()
+{
+    uint64_t bit_len = totalLen * 8;
+    const uint8_t pad_byte = 0x80;
+    update(&pad_byte, 1);
+    const uint8_t zero = 0x00;
+    while (bufferLen != 56)
+        update(&zero, 1);
+
+    // Length is big-endian in SHA-1.
+    for (int i = 0; i < 8; ++i)
+        buffer[56 + i] = static_cast<uint8_t>(bit_len >> (8 * (7 - i)));
+    processBlock(buffer.data());
+    bufferLen = 0;
+
+    Sha1Digest out;
+    for (int w = 0; w < 5; ++w) {
+        for (int b = 0; b < 4; ++b) {
+            out[4 * w + b] =
+                static_cast<uint8_t>(state[w] >> (8 * (3 - b)));
+        }
+    }
+    return out;
+}
+
+void
+Sha1::processBlock(const uint8_t *block)
+{
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<uint32_t>(block[4 * i]) << 24)
+               | (static_cast<uint32_t>(block[4 * i + 1]) << 16)
+               | (static_cast<uint32_t>(block[4 * i + 2]) << 8)
+               | static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    uint32_t a = state[0], b = state[1], c = state[2];
+    uint32_t d = state[3], e = state[4];
+
+    for (int i = 0; i < 80; ++i) {
+        uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdc;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6;
+        }
+        uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = tmp;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+}
+
+Sha1Digest
+Sha1::digest(const uint8_t *data, size_t len)
+{
+    Sha1 ctx;
+    ctx.update(data, len);
+    return ctx.finalize();
+}
+
+Sha1Digest
+Sha1::digest(const std::string &s)
+{
+    return digest(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+} // namespace crypto
+} // namespace obfusmem

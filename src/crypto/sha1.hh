@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SHA-1 message digest (RFC 3174). The paper names SHA-1 as an
+ * alternative MAC hash to MD5; we provide it so the MAC engine is
+ * pluggable, and it also serves as the measurement hash for the
+ * attestation protocol in src/trust.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_SHA1_HH
+#define OBFUSMEM_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace obfusmem {
+namespace crypto {
+
+/** 160-bit SHA-1 digest. */
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/**
+ * Incremental SHA-1 context.
+ */
+class Sha1
+{
+  public:
+    Sha1() { reset(); }
+
+    void reset();
+    void update(const uint8_t *data, size_t len);
+    Sha1Digest finalize();
+
+    static Sha1Digest digest(const uint8_t *data, size_t len);
+    static Sha1Digest digest(const std::string &s);
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    std::array<uint32_t, 5> state;
+    uint64_t totalLen;
+    std::array<uint8_t, 64> buffer;
+    size_t bufferLen;
+};
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_SHA1_HH

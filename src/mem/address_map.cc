@@ -1,0 +1,86 @@
+/**
+ * @file
+ * RoRaBaChCo address mapping implementation.
+ */
+
+#include "mem/address_map.hh"
+
+#include <sstream>
+
+#include "mem/packet.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+AddressMap::AddressMap(uint64_t capacity_bytes, unsigned channels,
+                       unsigned ranks_per_channel,
+                       unsigned banks_per_rank,
+                       uint64_t row_buffer_bytes)
+    : capacityBytes(capacity_bytes), numChannels(channels),
+      numRanks(ranks_per_channel), numBanks(banks_per_rank),
+      rowBytes(row_buffer_bytes)
+{
+    fatal_if(!isPowerOf2(capacity_bytes), "capacity must be power of 2");
+    fatal_if(!isPowerOf2(channels) || !isPowerOf2(ranks_per_channel)
+             || !isPowerOf2(banks_per_rank)
+             || !isPowerOf2(row_buffer_bytes),
+             "memory geometry must be powers of 2");
+    fatal_if(row_buffer_bytes < blockBytes,
+             "row buffer smaller than a block");
+
+    colsPerRow = static_cast<unsigned>(rowBytes / blockBytes);
+    colBits = floorLog2(colsPerRow);
+    chBits = floorLog2(numChannels);
+    baBits = floorLog2(numBanks);
+    raBits = floorLog2(numRanks);
+
+    uint64_t blocks = capacityBytes / blockBytes;
+    uint64_t blocks_per_row_all =
+        static_cast<uint64_t>(colsPerRow) * numChannels * numBanks
+        * numRanks;
+    numRows = blocks / blocks_per_row_all;
+    fatal_if(numRows == 0, "capacity too small for geometry");
+}
+
+DecodedAddr
+AddressMap::decode(uint64_t addr) const
+{
+    fatal_if(addr >= capacityBytes, "address out of range");
+    uint64_t block = addr / blockBytes;
+
+    DecodedAddr out;
+    out.column = static_cast<unsigned>(bits(block, 0, colBits));
+    block >>= colBits;
+    out.channel = static_cast<unsigned>(bits(block, 0, chBits));
+    block >>= chBits;
+    out.bank = static_cast<unsigned>(bits(block, 0, baBits));
+    block >>= baBits;
+    out.rank = static_cast<unsigned>(bits(block, 0, raBits));
+    block >>= raBits;
+    out.row = block;
+    return out;
+}
+
+uint64_t
+AddressMap::encode(const DecodedAddr &loc) const
+{
+    uint64_t block = loc.row;
+    block = (block << raBits) | loc.rank;
+    block = (block << baBits) | loc.bank;
+    block = (block << chBits) | loc.channel;
+    block = (block << colBits) | loc.column;
+    return block * blockBytes;
+}
+
+std::string
+AddressMap::describe() const
+{
+    std::ostringstream oss;
+    oss << capacityBytes / (1024 * 1024 * 1024) << "GB, " << numChannels
+        << " channel(s), " << numRanks << " rank(s)/ch, " << numBanks
+        << " bank(s)/rank, " << rowBytes << "B rows, RoRaBaChCo";
+    return oss.str();
+}
+
+} // namespace obfusmem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Physical address decoding with the RoRaBaChCo mapping from the
+ * paper's Table 2: from most to least significant bits the address is
+ * split into Row | Rank | Bank | Channel | Column | block offset, so
+ * channels interleave at row-buffer granularity.
+ */
+
+#ifndef OBFUSMEM_MEM_ADDRESS_MAP_HH
+#define OBFUSMEM_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace obfusmem {
+
+/** Decoded location of a block in the memory system. */
+struct DecodedAddr
+{
+    unsigned channel;
+    unsigned rank;
+    unsigned bank;
+    uint64_t row;
+    unsigned column;
+};
+
+/**
+ * RoRaBaChCo address mapper.
+ */
+class AddressMap
+{
+  public:
+    /**
+     * @param capacity_bytes Total memory capacity.
+     * @param channels Number of channels (1/2/4/8 in the paper).
+     * @param ranks_per_channel Ranks per channel (2).
+     * @param banks_per_rank Banks per rank (8).
+     * @param row_buffer_bytes Row buffer size (1 KB).
+     */
+    AddressMap(uint64_t capacity_bytes, unsigned channels,
+               unsigned ranks_per_channel = 2,
+               unsigned banks_per_rank = 8,
+               uint64_t row_buffer_bytes = 1024);
+
+    DecodedAddr decode(uint64_t addr) const;
+
+    /** Inverse of decode(): build the block address of a location. */
+    uint64_t encode(const DecodedAddr &loc) const;
+
+    unsigned channels() const { return numChannels; }
+    unsigned ranksPerChannel() const { return numRanks; }
+    unsigned banksPerRank() const { return numBanks; }
+    uint64_t rowBufferBytes() const { return rowBytes; }
+    uint64_t capacity() const { return capacityBytes; }
+    /** Number of rows per bank implied by the geometry. */
+    uint64_t rowsPerBank() const { return numRows; }
+    /** Blocks per row buffer. */
+    unsigned blocksPerRow() const { return colsPerRow; }
+
+    std::string describe() const;
+
+  private:
+    uint64_t capacityBytes;
+    unsigned numChannels;
+    unsigned numRanks;
+    unsigned numBanks;
+    uint64_t rowBytes;
+    unsigned colsPerRow;
+    uint64_t numRows;
+
+    unsigned colBits, chBits, baBits, raBits;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * BackingStore implementation.
+ */
+
+#include "mem/backing_store.hh"
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+DataBlock
+BackingStore::read(uint64_t addr) const
+{
+    uint64_t key = blockAlign(addr);
+    panic_if(key >= capacityBytes, "read beyond capacity");
+    auto it = blocks.find(key);
+    if (it != blocks.end())
+        return it->second;
+
+    // Deterministic "uninitialized" fill derived from the address.
+    DataBlock junk;
+    uint64_t x = key ^ 0xdeadbeefcafef00dULL;
+    for (size_t i = 0; i < junk.size(); ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        junk[i] = static_cast<uint8_t>(x);
+    }
+    return junk;
+}
+
+void
+BackingStore::write(uint64_t addr, const DataBlock &data)
+{
+    uint64_t key = blockAlign(addr);
+    panic_if(key >= capacityBytes, "write beyond capacity");
+    blocks[key] = data;
+}
+
+bool
+BackingStore::populated(uint64_t addr) const
+{
+    return blocks.count(blockAlign(addr)) != 0;
+}
+
+} // namespace obfusmem

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ChannelBus implementation.
+ */
+
+#include "mem/channel_bus.hh"
+
+#include <cmath>
+
+namespace obfusmem {
+
+ChannelBus::ChannelBus(const std::string &name, EventQueue &eq,
+                       statistics::Group *parent, unsigned channel_id,
+                       const Params &params_)
+    : SimObject(name, eq, parent), params(params_), channel(channel_id)
+{
+    stats().addScalar("messages", &messagesSent,
+                      "messages transmitted on the bus");
+    stats().addScalar("bytes", &bytesSent, "data-bus bytes transmitted");
+    stats().addScalar("busyTicks", &busBusyTicks,
+                      "ticks the data bus was occupied");
+    stats().addAverage("queueDelayNs", &queueDelayNs,
+                       "per-message arbitration queueing delay");
+}
+
+Tick
+ChannelBus::occupancy(uint32_t bytes) const
+{
+    if (bytes == 0)
+        return params.commandSlot;
+    double ns = bytes / params.bytesPerNs;
+    return static_cast<Tick>(std::ceil(ns * tickPerNs));
+}
+
+void
+ChannelBus::send(BusDir dir, uint32_t bytes, uint64_t snoop_addr,
+                 bool snoop_is_write, std::function<void()> deliver)
+{
+    pending.push_back(Message{dir, bytes, snoop_addr, snoop_is_write,
+                              std::move(deliver)});
+    enqueueTicks.push_back(curTick());
+    if (!transferring)
+        startNext();
+}
+
+void
+ChannelBus::startNext()
+{
+    if (pending.empty()) {
+        transferring = false;
+        return;
+    }
+    transferring = true;
+
+    Message msg = std::move(pending.front());
+    pending.pop_front();
+    Tick enq = enqueueTicks.front();
+    enqueueTicks.pop_front();
+    queueDelayNs.sample(ticksToNs(curTick() - enq));
+
+    Tick busy = occupancy(msg.bytes);
+    ++messagesSent;
+    bytesSent += msg.bytes;
+    busBusyTicks += busy;
+
+    // The attacker sees the message as it starts appearing on the bus.
+    BusSnoop snoop{curTick(), msg.dir, msg.bytes, msg.snoopAddr,
+                   msg.snoopIsWrite, channel};
+    for (auto *p : probes)
+        p->observe(snoop);
+
+    // The bus frees after the burst; propagation overlaps the next
+    // message's burst.
+    Tick done = busy + params.propagationDelay;
+    scheduleAfter(done, std::move(msg.deliver));
+    scheduleAfter(busy, [this]() { startNext(); });
+}
+
+double
+ChannelBus::utilization() const
+{
+    Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    return busBusyTicks.value() / static_cast<double>(now);
+}
+
+} // namespace obfusmem

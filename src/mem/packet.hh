@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory request/response packets. Packets carry a real 64-byte
+ * payload end to end so that the encryption layers can be verified
+ * functionally, not just in timing.
+ */
+
+#ifndef OBFUSMEM_MEM_PACKET_HH
+#define OBFUSMEM_MEM_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace obfusmem {
+
+/** Cache-block payload: 64 bytes (Table 2). */
+using DataBlock = std::array<uint8_t, 64>;
+
+/** Size of a cache block / memory burst in bytes. */
+constexpr uint64_t blockBytes = 64;
+
+/** Block-aligned address. */
+inline uint64_t
+blockAlign(uint64_t addr)
+{
+    return addr & ~(blockBytes - 1);
+}
+
+/** Memory command. */
+enum class MemCmd : uint8_t { Read, Write };
+
+/**
+ * A memory request as it travels from the LLC toward memory (and its
+ * response travelling back).
+ */
+struct MemPacket
+{
+    /** Unique id for tracing/debugging. */
+    uint64_t id = 0;
+    MemCmd cmd = MemCmd::Read;
+    /** Physical block-aligned address. */
+    uint64_t addr = 0;
+    /** Issuing core (-1 for system-generated, e.g. counter fetches). */
+    int coreId = -1;
+    /** Payload (valid for writes and read responses). */
+    DataBlock data{};
+
+    /** True for ObfusMem-generated dummy requests. */
+    bool isDummy = false;
+    /**
+     * Bytes this message occupies on the channel data bus. Zero means
+     * the message travels on the command path only. Set by the
+     * protection layer; defaults match an unprotected DDR-like channel.
+     */
+    uint32_t wireBytes = 0;
+    /** Tick at which the request entered the memory system. */
+    Tick issueTick = 0;
+
+    bool isRead() const { return cmd == MemCmd::Read; }
+    bool isWrite() const { return cmd == MemCmd::Write; }
+};
+
+/** Callback delivering a completed packet (response). */
+using PacketCallback = std::function<void(MemPacket &&)>;
+
+/**
+ * Anything that can consume timed memory requests: caches, encryption
+ * layers, obfuscation controllers, memory controllers.
+ */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /**
+     * Issue a request. The callback fires when the response is
+     * available (reads: with data; writes: as a completion ack).
+     */
+    virtual void access(MemPacket pkt, PacketCallback cb) = 0;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_MEM_PACKET_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * PcmController implementation.
+ */
+
+#include "mem/pcm_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+PcmController::PcmController(const std::string &name, EventQueue &eq,
+                             statistics::Group *parent,
+                             unsigned channel_id, const AddressMap &map,
+                             const PcmParams &params_,
+                             BackingStore &store_)
+    : SimObject(name, eq, parent), addrMap(map), params(params_),
+      store(store_), channel(channel_id),
+      banks(map.ranksPerChannel() * map.banksPerRank())
+{
+    stats().addScalar("readReqs", &readReqs, "read requests serviced");
+    stats().addScalar("writeReqs", &writeReqs,
+                      "write requests serviced");
+    stats().addScalar("rowHits", &rowHits, "row buffer hits");
+    stats().addScalar("rowMisses", &rowMisses, "row buffer misses");
+    stats().addScalar("cellWrites", &cellWrites,
+                      "blocks written to PCM cells (wear)");
+    stats().addScalar("rowActivations", &rowActivations,
+                      "row activations (array reads)");
+    stats().addScalar("arrayEnergyPj", &arrayEnergy,
+                      "PCM array energy (pJ, normalized)");
+    stats().addAverage("readLatencyNs", &readLatencyNs,
+                       "device-level read latency");
+    stats().addAverage("queueOccupancy", &queueOccupancy,
+                       "requests queued at enqueue time");
+    stats().addScalar("gapMoves", &gapMoves,
+                      "Start-Gap wear-leveling row copies");
+
+    if (params.wearLeveling) {
+        for (size_t b = 0; b < banks.size(); ++b) {
+            levelers.emplace_back(map.rowsPerBank(),
+                                  params.gapMovePeriod);
+        }
+    }
+}
+
+PcmController::Bank &
+PcmController::bankFor(const DecodedAddr &loc)
+{
+    return banks[loc.rank * addrMap.banksPerRank() + loc.bank];
+}
+
+void
+PcmController::access(MemPacket pkt, PacketCallback cb)
+{
+    panic_if(pkt.isDummy, "dummy request reached the PCM banks");
+    DecodedAddr loc = addrMap.decode(pkt.addr);
+    panic_if(loc.channel != channel, "request routed to wrong channel");
+
+    queueOccupancy.sample(
+        static_cast<double>(readQueue.size() + writeQueue.size()));
+
+    if (pkt.isRead()) {
+        // Read-under-write forwarding: a younger read must observe the
+        // data of the youngest queued write to the same block.
+        for (auto it = writeQueue.rbegin(); it != writeQueue.rend();
+             ++it) {
+            const auto &w = *it;
+            if (w.pkt.addr == pkt.addr) {
+                MemPacket resp = pkt;
+                resp.data = w.pkt.data;
+                ++readReqs;
+                readLatencyNs.sample(ticksToNs(params.tCL));
+                scheduleAfter(params.tCL,
+                              [cb = std::move(cb),
+                               resp = std::move(resp)]() mutable {
+                                  cb(std::move(resp));
+                              });
+                return;
+            }
+        }
+        readQueue.push_back({std::move(pkt), std::move(cb), loc,
+                             curTick()});
+    } else {
+        writeQueue.push_back({std::move(pkt), std::move(cb), loc,
+                              curTick()});
+    }
+    trySchedule();
+}
+
+void
+PcmController::trySchedule()
+{
+    // Hysteresis on write draining.
+    if (writeQueue.size() >= params.drainHighWatermark)
+        drainingWrites = true;
+    if (writeQueue.size() <= params.drainLowWatermark)
+        drainingWrites = false;
+
+    auto issuable = [this](const QueuedRequest &req) {
+        return bankFor(req.loc).freeAt <= curTick();
+    };
+
+    auto pickFrom = [this, &issuable](std::deque<QueuedRequest> &queue)
+        -> std::deque<QueuedRequest>::iterator {
+        // FR-FCFS: oldest row-buffer hit first, else oldest issuable.
+        auto best = queue.end();
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (!issuable(*it))
+                continue;
+            Bank &bank = bankFor(it->loc);
+            bool hit = bank.rowOpen && bank.openRow == it->loc.row;
+            if (hit)
+                return it;
+            if (best == queue.end())
+                best = it;
+        }
+        return best;
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        bool serve_writes =
+            drainingWrites || (readQueue.empty() && !writeQueue.empty());
+        auto &primary = serve_writes ? writeQueue : readQueue;
+        auto &secondary = serve_writes ? readQueue : writeQueue;
+
+        auto it = pickFrom(primary);
+        bool from_primary = it != primary.end();
+        if (!from_primary)
+            it = pickFrom(secondary);
+        auto &queue = from_primary ? primary : secondary;
+        if (it == queue.end())
+            break;
+
+        QueuedRequest req = std::move(*it);
+        queue.erase(it);
+        serviceRequest(req);
+        progress = true;
+    }
+
+    // If work remains but all target banks are busy, kick when the
+    // earliest one frees.
+    if (!kickScheduled && (!readQueue.empty() || !writeQueue.empty())) {
+        Tick earliest = maxTick;
+        for (const auto &r : readQueue)
+            earliest = std::min(earliest, bankFor(r.loc).freeAt);
+        for (const auto &w : writeQueue)
+            earliest = std::min(earliest, bankFor(w.loc).freeAt);
+        if (earliest != maxTick && earliest > curTick()) {
+            kickScheduled = true;
+            eventQueue().schedule(earliest, [this]() {
+                kickScheduled = false;
+                trySchedule();
+            });
+        }
+    }
+}
+
+Tick
+PcmController::serviceRequest(QueuedRequest &req)
+{
+    Bank &bank = bankFor(req.loc);
+    panic_if(bank.freeAt > curTick(), "issuing to a busy bank");
+
+    Tick t = curTick();
+    bool hit = bank.rowOpen && bank.openRow == req.loc.row;
+
+    if (hit) {
+        ++rowHits;
+    } else {
+        ++rowMisses;
+        if (bank.rowOpen && bank.dirtyBlocks > 0) {
+            // Evict the dirty row buffer: the only point where PCM
+            // cells are written (Table 2 / Lee et al. [32]).
+            t += params.tWR;
+            cellWrites += bank.dirtyBlocks;
+            arrayEnergy += bank.dirtyBlocks * params.writeEnergyPj;
+
+            size_t bank_idx =
+                req.loc.rank * addrMap.banksPerRank() + req.loc.bank;
+            uint64_t physical_row = bank.openRow;
+            if (params.wearLeveling) {
+                StartGapLeveler &lvl = levelers[bank_idx];
+                physical_row = lvl.map(bank.openRow);
+                if (lvl.recordWrite()) {
+                    // One row copy: read + write a whole row, and
+                    // the bank is busy for the copy.
+                    ++gapMoves;
+                    t += params.tRCD + params.tWR;
+                    arrayEnergy +=
+                        params.readEnergyPj
+                        + addrMap.blocksPerRow()
+                              * params.writeEnergyPj;
+                    cellWrites += addrMap.blocksPerRow();
+                }
+            }
+            uint64_t row_id =
+                (static_cast<uint64_t>(req.loc.rank) << 40)
+                | (static_cast<uint64_t>(req.loc.bank) << 32)
+                | physical_row;
+            rowWearMap[row_id] += bank.dirtyBlocks;
+        }
+        // Activate: array read of the target row into the row buffer.
+        t += params.tRCD;
+        ++rowActivations;
+        arrayEnergy += params.readEnergyPj;
+        bank.rowOpen = true;
+        bank.openRow = req.loc.row;
+        bank.dirtyBlocks = 0;
+    }
+
+    Tick done;
+    if (req.pkt.isRead()) {
+        done = t + params.tCL + params.tBURST;
+        ++readReqs;
+    } else {
+        // Write lands in the row buffer.
+        done = t + params.tCL;
+        ++writeReqs;
+        if (bank.dirtyBlocks < addrMap.blocksPerRow())
+            ++bank.dirtyBlocks;
+    }
+    bank.freeAt = done;
+
+    ++inFlight;
+    Tick enq = req.enqueued;
+    MemPacket pkt = std::move(req.pkt);
+    PacketCallback cb = std::move(req.cb);
+    eventQueue().schedule(done,
+        [this, enq, pkt = std::move(pkt),
+         cb = std::move(cb)]() mutable {
+            if (pkt.isRead()) {
+                pkt.data = store.read(pkt.addr);
+                readLatencyNs.sample(ticksToNs(curTick() - enq));
+            } else {
+                store.write(pkt.addr, pkt.data);
+            }
+            --inFlight;
+            cb(std::move(pkt));
+            trySchedule();
+        });
+    return done;
+}
+
+uint64_t
+PcmController::maxRowCellWrites() const
+{
+    uint64_t max_writes = 0;
+    for (const auto &[row, writes] : rowWearMap)
+        max_writes = std::max(max_writes, writes);
+    return max_writes;
+}
+
+} // namespace obfusmem

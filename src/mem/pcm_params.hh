@@ -1,0 +1,54 @@
+/**
+ * @file
+ * PCM device timing and energy parameters from the paper's Table 2
+ * (DDR-based PCM, parameters from Lee et al. [32]).
+ */
+
+#ifndef OBFUSMEM_MEM_PCM_PARAMS_HH
+#define OBFUSMEM_MEM_PCM_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace obfusmem {
+
+/**
+ * Timing, energy and scheduling parameters for one PCM channel.
+ */
+struct PcmParams
+{
+    /** Array read (activate a row into the row buffer): tRCD, 60 ns. */
+    Tick tRCD = 60 * tickPerNs;
+    /** Row-buffer access (CAS) latency: tCL, 13.75 ns. */
+    Tick tCL = 13750;
+    /** Cell write of a dirty row buffer on eviction: tRP/tWR, 150 ns. */
+    Tick tWR = 150 * tickPerNs;
+    /** Data burst for one 64 B block at 12.8 GB/s: tBURST, 5 ns. */
+    Tick tBURST = 5 * tickPerNs;
+
+    /** Write-queue drain thresholds (entries). */
+    unsigned drainHighWatermark = 32;
+    unsigned drainLowWatermark = 8;
+
+    /**
+     * Normalized per-block energies. Only the ratio matters for the
+     * paper's Sec. 5.2 analysis: PCM cell writes cost 6.8x reads.
+     */
+    double readEnergyPj = 100.0;
+    double writeEnergyPj = 680.0;
+
+    /** PCM cell endurance (writes per cell) for lifetime estimates. */
+    double cellEndurance = 1e8;
+
+    /**
+     * Start-Gap wear leveling inside the module's controller logic
+     * (Sec. 2.2): spreads row wear at the cost of a periodic row
+     * copy.
+     */
+    bool wearLeveling = false;
+    /** Row writes between gap movements. */
+    unsigned gapMovePeriod = 100;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_MEM_PCM_PARAMS_HH

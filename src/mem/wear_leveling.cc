@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Start-Gap implementation.
+ */
+
+#include "mem/wear_leveling.hh"
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+StartGapLeveler::StartGapLeveler(uint64_t rows_, unsigned move_period)
+    : rows(rows_), movePeriod(move_period), gap(rows_)
+{
+    fatal_if(rows == 0, "empty wear-leveling region");
+    fatal_if(movePeriod == 0, "gap move period must be positive");
+}
+
+uint64_t
+StartGapLeveler::map(uint64_t logical_row) const
+{
+    panic_if(logical_row >= rows, "logical row out of range");
+    uint64_t pa = (logical_row + start) % rows;
+    if (pa >= gap)
+        pa += 1;
+    return pa;
+}
+
+bool
+StartGapLeveler::recordWrite()
+{
+    if (++writesSinceMove < movePeriod)
+        return false;
+    writesSinceMove = 0;
+    ++moves;
+
+    if (gap == 0) {
+        // The gap wrapped: one full rotation step completes.
+        gap = rows;
+        start = (start + 1) % rows;
+    } else {
+        // Copy the row below the gap into the gap; the gap moves
+        // down one position.
+        gap -= 1;
+    }
+    return true;
+}
+
+} // namespace obfusmem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO'09), the kind of
+ * in-memory-controller endurance logic the paper's Sec. 2.2 cites as
+ * a reason NVM modules already carry substantial logic - the same
+ * logic budget ObfusMem's crypto engines ride on.
+ *
+ * One spare (gap) row per region; every `movePeriod` row writes the
+ * gap walks one position, slowly rotating the logical-to-physical row
+ * mapping so that write-heavy rows spread their wear over the whole
+ * region.
+ */
+
+#ifndef OBFUSMEM_MEM_WEAR_LEVELING_HH
+#define OBFUSMEM_MEM_WEAR_LEVELING_HH
+
+#include <cstdint>
+
+namespace obfusmem {
+
+/**
+ * Start-Gap remapper for one bank's rows.
+ */
+class StartGapLeveler
+{
+  public:
+    /**
+     * @param rows Logical rows in the region.
+     * @param move_period Gap moves once per this many row writes.
+     */
+    StartGapLeveler(uint64_t rows, unsigned move_period = 100);
+
+    /** Physical row currently backing a logical row. */
+    uint64_t map(uint64_t logical_row) const;
+
+    /**
+     * Record one row write.
+     * @return true if the gap moved (costing one row copy).
+     */
+    bool recordWrite();
+
+    uint64_t gapMoves() const { return moves; }
+    uint64_t startOffset() const { return start; }
+    uint64_t gapPosition() const { return gap; }
+    uint64_t logicalRows() const { return rows; }
+    /** Physical rows = logical + the spare gap row. */
+    uint64_t physicalRows() const { return rows + 1; }
+
+  private:
+    uint64_t rows;
+    unsigned movePeriod;
+    uint64_t start = 0;
+    uint64_t gap;
+    unsigned writesSinceMove = 0;
+    uint64_t moves = 0;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_MEM_WEAR_LEVELING_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * MacEngine implementation.
+ */
+
+#include "obfusmem/mac_engine.hh"
+
+namespace obfusmem {
+
+crypto::Md5Digest
+MacEngine::compute(const WireHeader &hdr, uint64_t counter) const
+{
+    // H(r | a | c) per the paper: type, address, counter.
+    uint8_t buf[17];
+    buf[0] = hdr.cmd == MemCmd::Write ? 1 : 0;
+    crypto::storeLe64(buf + 1, hdr.addr);
+    crypto::storeLe64(buf + 9, counter);
+    return crypto::Md5::digest(buf, sizeof(buf));
+}
+
+bool
+MacEngine::verify(const WireHeader &hdr, uint64_t counter,
+                  const crypto::Md5Digest &mac) const
+{
+    return compute(hdr, counter) == mac;
+}
+
+} // namespace obfusmem

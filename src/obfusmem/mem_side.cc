@@ -1,0 +1,218 @@
+/**
+ * @file
+ * ObfusMemMemSide implementation.
+ */
+
+#include "obfusmem/mem_side.hh"
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+ObfusMemMemSide::ObfusMemMemSide(const std::string &name,
+                                 EventQueue &eq,
+                                 statistics::Group *parent,
+                                 const ObfusMemParams &params_,
+                                 unsigned channel_id,
+                                 const crypto::Aes128::Key &session_key,
+                                 ChannelBus &bus_, PcmController &pcm_,
+                                 const BackingStore &store_,
+                                 uint64_t dummy_addr)
+    : SimObject(name, eq, parent), params(params_), channel(channel_id),
+      rxCipher(session_key, 2ull * channel_id),
+      txCipher(session_key, 2ull * channel_id + 1), mac(params_.mac),
+      bus(bus_), pcm(pcm_), store(store_), dummyBlockAddr(dummy_addr),
+      junkRng(0x5eed0000 + channel_id)
+{
+    stats().addScalar("realReads", &realReads,
+                      "real read requests forwarded to PCM");
+    stats().addScalar("realWrites", &realWrites,
+                      "real write requests forwarded to PCM");
+    stats().addScalar("dummyReadsAnswered", &dummyReadsAnswered,
+                      "dummy reads answered with junk (no PCM access)");
+    stats().addScalar("dummyWritesDropped", &dummyWritesDropped,
+                      "dummy writes discarded at arrival");
+    stats().addScalar("dummyPcmAccesses", &dummyPcmAccesses,
+                      "dummy requests that hit PCM (non-fixed policy)");
+    stats().addScalar("macFailures", &macFailures,
+                      "MAC mismatches (tampering detected)");
+    stats().addScalar("headerDesyncs", &headerDesyncs,
+                      "undecryptable headers (counter desync)");
+    stats().addScalar("padsUsed", &padsUsed,
+                      "128-bit pads consumed by this controller");
+}
+
+void
+ObfusMemMemSide::receiveMessage(WireMessage msg)
+{
+    // Counter discipline: first message of a group decrypts with
+    // ctr+0, the second with ctr+1; the group's payload (carried by
+    // exactly one of them) with ctr+2..5. In the uniform-packet
+    // scheme each message is a full group by itself.
+    uint64_t hdr_ctr = reqCounter + groupPhase;
+    padsUsed += 1;
+
+    std::optional<WireHeader> hdr =
+        decryptHeader(rxCipher, hdr_ctr, msg.cipherHeader);
+
+    // Advance the group phase regardless: the pads are consumed.
+    uint64_t data_ctr = reqCounter + 2;
+    if (params.uniformPackets) {
+        groupPhase = 0;
+        reqCounter += countersPerRequestGroup;
+    } else {
+        groupPhase += 1;
+        if (groupPhase == 2) {
+            groupPhase = 0;
+            reqCounter += countersPerRequestGroup;
+        }
+    }
+
+    if (!hdr) {
+        // Drop, inject or replay desynchronized the counters; from
+        // here on the link is cryptographically dead (DoS, not data
+        // loss - paper Sec. 3.5).
+        ++headerDesyncs;
+        return;
+    }
+
+    if (params.auth) {
+        if (!msg.hasMac || !mac.verify(*hdr, hdr_ctr, msg.mac)) {
+            ++macFailures;
+            return;
+        }
+    }
+
+    DataBlock plain_data{};
+    if (msg.hasData) {
+        plain_data = cryptPayload(rxCipher, data_ctr, msg.cipherData);
+        padsUsed += 4;
+    }
+
+    Tick lat = params.xorLatency
+               + (params.auth ? mac.receiverLatency() : 0);
+    WireHeader hdr_val = *hdr;
+    bool has_data = msg.hasData;
+    scheduleAfter(lat, [this, hdr_val, has_data, plain_data]() {
+        handleRequest(hdr_val, has_data, plain_data, 0);
+    });
+}
+
+void
+ObfusMemMemSide::handleRequest(const WireHeader &hdr, bool has_data,
+                               const DataBlock &plain_data, uint64_t)
+{
+    const bool is_dummy = hdr.dummy || hdr.addr == dummyBlockAddr;
+
+    // Timing-oblivious operation forgoes dummy dropping: a dropped
+    // request would finish faster than a real one (paper Sec. 6.2).
+    const bool may_drop =
+        params.dummyPolicy == DummyPolicy::Fixed
+        && !params.timingOblivious;
+
+    if (hdr.cmd == MemCmd::Write) {
+        if (is_dummy) {
+            if (may_drop) {
+                // Request dropping: no cell write, no wear, no energy.
+                ++dummyWritesDropped;
+                return;
+            }
+            // Original/Random-address dummies cannot be dropped; they
+            // cost a real PCM row access. Rewrite the current content
+            // so memory stays functionally intact.
+            ++dummyPcmAccesses;
+            MemPacket pkt;
+            pkt.cmd = MemCmd::Write;
+            pkt.addr = hdr.addr;
+            pkt.data = store.read(hdr.addr);
+            pkt.issueTick = curTick();
+            pcm.access(std::move(pkt), [](MemPacket &&) {});
+            return;
+        }
+        ++realWrites;
+        MemPacket pkt;
+        pkt.cmd = MemCmd::Write;
+        pkt.addr = hdr.addr;
+        pkt.data = plain_data;
+        pkt.issueTick = curTick();
+        panic_if(!has_data, "real write message without payload");
+        if (params.uniformPackets) {
+            // Uniform scheme: writes are acknowledged with a
+            // full-size junk reply so replies reveal nothing.
+            WireHeader reply_hdr = hdr;
+            pcm.access(std::move(pkt),
+                [this, reply_hdr](MemPacket &&) {
+                    DataBlock junk;
+                    junkRng.fillBytes(junk.data(), junk.size());
+                    sendReadReply(reply_hdr, junk);
+                });
+        } else {
+            pcm.access(std::move(pkt), [](MemPacket &&) {});
+        }
+        return;
+    }
+
+    // Read.
+    if (is_dummy && may_drop) {
+        // Answer immediately with junk; the processor discards it.
+        ++dummyReadsAnswered;
+        DataBlock junk;
+        junkRng.fillBytes(junk.data(), junk.size());
+        sendReadReply(hdr, junk);
+        return;
+    }
+
+    if (is_dummy)
+        ++dummyPcmAccesses;
+    else
+        ++realReads;
+
+    MemPacket pkt;
+    pkt.cmd = MemCmd::Read;
+    pkt.addr = hdr.addr;
+    pkt.issueTick = curTick();
+    WireHeader reply_hdr = hdr;
+    pcm.access(std::move(pkt),
+        [this, reply_hdr](MemPacket &&resp) {
+            sendReadReply(reply_hdr, resp.data);
+        });
+}
+
+void
+ObfusMemMemSide::sendReadReply(const WireHeader &req_hdr,
+                               const DataBlock &data)
+{
+    uint64_t ctr = respCounter;
+    respCounter += countersPerReply;
+
+    WireHeader hdr;
+    hdr.cmd = MemCmd::Read;
+    hdr.addr = req_hdr.addr;
+    hdr.tag = req_hdr.tag;
+    hdr.dummy = req_hdr.dummy;
+
+    WireMessage msg;
+    msg.cipherHeader = encryptHeader(txCipher, ctr, hdr);
+    msg.hasData = true;
+    msg.cipherData = cryptPayload(txCipher, ctr + 1, data);
+    padsUsed += 5;
+    if (params.auth) {
+        msg.hasMac = true;
+        msg.mac = mac.compute(hdr, ctr);
+    }
+
+    Tick lat = params.xorLatency
+               + (params.auth ? mac.senderLatency() : 0);
+    scheduleAfter(lat, [this, msg = std::move(msg)]() mutable {
+        uint64_t snoop_addr = msg.snoopAddr();
+        uint32_t bytes = msg.wireBytes(params.headerWireBytes, params.macWireBytes);
+        bus.send(BusDir::ToProcessor, bytes, snoop_addr, false,
+                 [this, msg = std::move(msg)]() mutable {
+                     panic_if(!replyTarget,
+                              "no reply target wired to mem side");
+                     replyTarget(std::move(msg));
+                 });
+    });
+}
+
+} // namespace obfusmem

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The memory-side ObfusMem controller: the cryptographic logic that
+ * the paper places in the logic layer of the 3D/2.5D memory stack.
+ * It decrypts arriving request messages with its own synchronized
+ * counters, verifies MACs, drops dummy writes, answers dummy reads
+ * with junk, forwards real requests to the PCM banks, and encrypts
+ * read replies back onto the channel.
+ */
+
+#ifndef OBFUSMEM_OBFUSMEM_MEM_SIDE_HH
+#define OBFUSMEM_OBFUSMEM_MEM_SIDE_HH
+
+#include <functional>
+
+#include "crypto/ctr_mode.hh"
+#include "mem/backing_store.hh"
+#include "mem/channel_bus.hh"
+#include "mem/pcm_controller.hh"
+#include "obfusmem/params.hh"
+#include "obfusmem/wire_format.hh"
+#include "sim/sim_object.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+
+/**
+ * One channel's memory-side controller.
+ */
+class ObfusMemMemSide : public SimObject
+{
+  public:
+    ObfusMemMemSide(const std::string &name, EventQueue &eq,
+                    statistics::Group *parent,
+                    const ObfusMemParams &params, unsigned channel_id,
+                    const crypto::Aes128::Key &session_key,
+                    ChannelBus &bus, PcmController &pcm,
+                    const BackingStore &store, uint64_t dummy_addr);
+
+    /** Deliver a request message that has crossed the bus. */
+    void receiveMessage(WireMessage msg);
+
+    /** Wire the processor-side reply receiver. */
+    void
+    setReplyTarget(std::function<void(WireMessage &&)> target)
+    {
+        replyTarget = std::move(target);
+    }
+
+    /** The reserved dummy block address for this channel. */
+    uint64_t dummyAddr() const { return dummyBlockAddr; }
+
+    uint64_t tamperDetections() const
+    {
+        return static_cast<uint64_t>(macFailures.value());
+    }
+
+    uint64_t desyncEvents() const
+    {
+        return static_cast<uint64_t>(headerDesyncs.value());
+    }
+
+    /** Test hook: skew the request counter to model message loss. */
+    void skewRequestCounter(uint64_t delta) { reqCounter += delta; }
+
+    /** Pads consumed by this controller (paper Sec. 5.2 accounting). */
+    uint64_t padsGenerated() const
+    {
+        return static_cast<uint64_t>(padsUsed.value());
+    }
+
+  private:
+    void handleRequest(const WireHeader &hdr, bool has_data,
+                       const DataBlock &plain_data, uint64_t hdr_ctr);
+    void sendReadReply(const WireHeader &req_hdr,
+                       const DataBlock &data);
+
+    ObfusMemParams params;
+    unsigned channel;
+    crypto::AesCtr rxCipher; // processor -> memory direction
+    crypto::AesCtr txCipher; // memory -> processor direction
+    MacEngine mac;
+    ChannelBus &bus;
+    PcmController &pcm;
+    const BackingStore &store;
+    uint64_t dummyBlockAddr;
+    Random junkRng;
+
+    std::function<void(WireMessage &&)> replyTarget;
+
+    uint64_t reqCounter = 0;
+    /** Which message of the current request group is next (0 or 1). */
+    unsigned groupPhase = 0;
+    uint64_t respCounter = 0;
+
+    statistics::Scalar realReads, realWrites;
+    statistics::Scalar dummyReadsAnswered, dummyWritesDropped;
+    statistics::Scalar dummyPcmAccesses;
+    statistics::Scalar macFailures, headerDesyncs;
+    statistics::Scalar padsUsed;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_OBFUSMEM_MEM_SIDE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * BusObserver implementation.
+ */
+
+#include "obfusmem/observer.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace obfusmem {
+
+BusObserver::BusObserver(unsigned channels_, Tick bucket_ticks)
+    : channels(channels_), bucketTicks(bucket_ticks),
+      perChannelRequests(channels_, 0)
+{
+}
+
+void
+BusObserver::rolloverBucket(uint64_t new_bucket)
+{
+    if (currentBucketMask != 0) {
+        ++activeBuckets;
+        if (std::popcount(currentBucketMask) == 1 && channels > 1)
+            ++soloBuckets;
+    }
+    currentBucketMask = 0;
+    currentBucket = new_bucket;
+}
+
+void
+BusObserver::observe(const BusSnoop &snoop)
+{
+    uint64_t bucket = snoop.when / bucketTicks;
+    if (bucket != currentBucket)
+        rolloverBucket(bucket);
+
+    if (snoop.dir == BusDir::ToMemory) {
+        ++totalRequests;
+        toMemBytes += snoop.bytes;
+        if (snoop.channel < channels) {
+            ++perChannelRequests[snoop.channel];
+            currentBucketMask |= 1u << snoop.channel;
+        }
+        if (snoop.wireIsWrite) {
+            ++writesSeen;
+        } else {
+            ++readsSeen;
+        }
+        uint64_t &count = wireAddrs[snoop.wireAddr];
+        if (count > 0)
+            ++reusedRequests;
+        ++count;
+    } else {
+        toProcBytes += snoop.bytes;
+        if (snoop.channel < channels)
+            currentBucketMask |= 1u << snoop.channel;
+    }
+}
+
+double
+BusObserver::addrReuseFraction() const
+{
+    if (totalRequests == 0)
+        return 0.0;
+    return static_cast<double>(reusedRequests) / totalRequests;
+}
+
+uint64_t
+BusObserver::hottestAddrCount() const
+{
+    uint64_t hottest = 0;
+    for (const auto &[addr, count] : wireAddrs)
+        hottest = std::max(hottest, count);
+    return hottest;
+}
+
+double
+BusObserver::typeImbalance() const
+{
+    uint64_t total = readsSeen + writesSeen;
+    if (total == 0)
+        return 0.0;
+    double read_frac = static_cast<double>(readsSeen) / total;
+    return std::abs(read_frac - 0.5) * 2.0;
+}
+
+double
+BusObserver::soloBucketFraction() const
+{
+    // Include the still-open bucket.
+    uint64_t active = activeBuckets;
+    uint64_t solo = soloBuckets;
+    if (currentBucketMask != 0) {
+        ++active;
+        if (std::popcount(currentBucketMask) == 1 && channels > 1)
+            ++solo;
+    }
+    if (active == 0)
+        return 0.0;
+    return static_cast<double>(solo) / active;
+}
+
+} // namespace obfusmem

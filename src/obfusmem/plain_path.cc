@@ -1,0 +1,125 @@
+/**
+ * @file
+ * PlainPath implementation.
+ */
+
+#include "obfusmem/plain_path.hh"
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+PlainPath::PlainPath(const std::string &name, EventQueue &eq,
+                     statistics::Group *parent, const AddressMap &map,
+                     const std::vector<ChannelBus *> &buses_,
+                     const std::vector<PcmController *> &controllers_,
+                     const Params &params_)
+    : SimObject(name, eq, parent), addrMap(map), buses(buses_),
+      controllers(controllers_), params(params_),
+      channelState(map.channels())
+{
+    fatal_if(buses.size() != map.channels()
+                 || controllers.size() != map.channels(),
+             "per-channel configuration size mismatch");
+    stats().addScalar("reads", &reads, "read requests routed");
+    stats().addScalar("writes", &writes, "write requests routed");
+    stats().addScalar("forwardedFromWriteQueue",
+                      &forwardedFromWriteQueue,
+                      "reads served from the controller write buffer");
+}
+
+void
+PlainPath::access(MemPacket pkt, PacketCallback cb)
+{
+    unsigned channel = addrMap.decode(pkt.addr).channel;
+    ChannelState &cs = channelState[channel];
+
+    if (pkt.isWrite()) {
+        ++writes;
+        cs.writeQueue.push_back({std::move(pkt), std::move(cb)});
+        maybeDrainWrites(channel);
+        return;
+    }
+
+    ++reads;
+    // Write-buffer forwarding: reads observe buffered write data.
+    for (auto it = cs.writeQueue.rbegin(); it != cs.writeQueue.rend();
+         ++it) {
+        if (it->pkt.addr == pkt.addr) {
+            ++forwardedFromWriteQueue;
+            pkt.data = it->pkt.data;
+            cb(std::move(pkt));
+            return;
+        }
+    }
+    sendRead(channel, std::move(pkt), std::move(cb));
+}
+
+void
+PlainPath::sendRead(unsigned channel, MemPacket pkt, PacketCallback cb)
+{
+    ChannelBus *bus = buses[channel];
+    PcmController *pcm = controllers[channel];
+    ChannelState &cs = channelState[channel];
+    ++cs.outstandingReads;
+
+    // Read requests ride the command pins; the address and command
+    // bit are exposed to any snooper.
+    bus->send(BusDir::ToMemory, 0, pkt.addr, false,
+        [this, channel, bus, pcm, pkt = std::move(pkt),
+         cb = std::move(cb)]() mutable {
+            pcm->access(std::move(pkt),
+                [this, channel, bus,
+                 cb = std::move(cb)](MemPacket &&resp) mutable {
+                    uint64_t addr = resp.addr;
+                    uint32_t bytes =
+                        static_cast<uint32_t>(resp.data.size());
+                    bus->send(BusDir::ToProcessor, bytes, addr, false,
+                        [this, channel, cb = std::move(cb),
+                         resp = std::move(resp)]() mutable {
+                            ChannelState &cs2 = channelState[channel];
+                            --cs2.outstandingReads;
+                            cb(std::move(resp));
+                            maybeDrainWrites(channel);
+                        });
+                });
+        });
+}
+
+void
+PlainPath::sendWrite(unsigned channel, MemPacket pkt, PacketCallback cb)
+{
+    ChannelBus *bus = buses[channel];
+    PcmController *pcm = controllers[channel];
+    uint32_t bytes = static_cast<uint32_t>(pkt.data.size());
+    uint64_t addr = pkt.addr;
+
+    bus->send(BusDir::ToMemory, bytes, addr, true,
+        [this, channel, pcm, pkt = std::move(pkt),
+         cb = std::move(cb)]() mutable {
+            pcm->access(std::move(pkt), std::move(cb));
+            // Keep the drain moving when no reads will retrigger it.
+            maybeDrainWrites(channel);
+        });
+}
+
+void
+PlainPath::maybeDrainWrites(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.writeQueue.size() >= params.writeQueueHighWatermark)
+        cs.drainingWrites = true;
+
+    while (!cs.writeQueue.empty()
+           && (cs.drainingWrites || cs.outstandingReads == 0)) {
+        QueuedWrite qw = std::move(cs.writeQueue.front());
+        cs.writeQueue.pop_front();
+        sendWrite(channel, std::move(qw.pkt), std::move(qw.cb));
+        if (cs.writeQueue.size() <= params.writeQueueLowWatermark)
+            cs.drainingWrites = false;
+        if (!cs.drainingWrites)
+            break;
+    }
+}
+
+} // namespace obfusmem

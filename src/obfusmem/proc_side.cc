@@ -1,0 +1,553 @@
+/**
+ * @file
+ * ObfusMemProcSide implementation.
+ */
+
+#include "obfusmem/proc_side.hh"
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+ObfusMemProcSide::ObfusMemProcSide(
+    const std::string &name, EventQueue &eq, statistics::Group *parent,
+    const ObfusMemParams &params_, const AddressMap &map,
+    const std::vector<crypto::Aes128::Key> &session_keys,
+    const std::vector<ChannelBus *> &buses,
+    const std::vector<uint64_t> &dummy_addrs)
+    : SimObject(name, eq, parent), params(params_), addrMap(map),
+      mac(params_.mac), junkRng(0xd117e57)
+{
+    fatal_if(session_keys.size() != map.channels()
+                 || buses.size() != map.channels()
+                 || dummy_addrs.size() != map.channels(),
+             "per-channel configuration size mismatch");
+
+    channelState.resize(map.channels());
+    for (unsigned c = 0; c < map.channels(); ++c) {
+        ChannelState &cs = channelState[c];
+        cs.tx.setKey(session_keys[c], 2ull * c);
+        cs.rx.setKey(session_keys[c], 2ull * c + 1);
+        cs.bus = buses[c];
+        cs.dummyAddr = dummy_addrs[c];
+    }
+
+    stats().addScalar("realReads", &realReads, "real reads sent");
+    stats().addScalar("realWrites", &realWrites, "real writes sent");
+    stats().addScalar("pairedDummies", &pairedDummies,
+                      "dummies paired with real requests");
+    stats().addScalar("channelFillGroups", &channelFillGroups,
+                      "dummy groups injected on other channels");
+    stats().addScalar("repliesDiscarded", &repliesDiscarded,
+                      "dummy-read replies discarded");
+    stats().addScalar("macFailures", &macFailures,
+                      "reply MAC mismatches (tampering detected)");
+    stats().addScalar("headerDesyncs", &headerDesyncs,
+                      "undecryptable reply headers");
+    stats().addScalar("padsUsed", &padsUsed,
+                      "128-bit pads consumed by this controller");
+    stats().addScalar("forwardedFromWriteQueue", &forwardedFromWriteQueue,
+                      "reads served from the controller write buffer");
+    stats().addScalar("realFillSubstitutions", &realFillSubstitutions,
+                      "channel-fill dummies replaced by real writes");
+    stats().addScalar("pairSubstitutions", &pairSubstitutions,
+                      "paired dummy writes replaced by real writes");
+}
+
+uint16_t
+ObfusMemProcSide::allocTag(ChannelState &cs)
+{
+    // Tags are 16-bit; skip ones still in flight.
+    for (int tries = 0; tries < 70000; ++tries) {
+        uint16_t tag = cs.nextTag++;
+        if (tag != 0 && !cs.pending.count(tag))
+            return tag;
+    }
+    panic("tag space exhausted");
+}
+
+uint64_t
+ObfusMemProcSide::dummyAddrFor(unsigned channel, uint64_t real_addr)
+{
+    switch (params.dummyPolicy) {
+      case DummyPolicy::Fixed:
+        return channelState[channel].dummyAddr;
+      case DummyPolicy::Original:
+        return real_addr;
+      case DummyPolicy::Random: {
+        // A random block on the same channel.
+        DecodedAddr loc;
+        loc.channel = channel;
+        loc.rank = static_cast<unsigned>(
+            junkRng.randUnder(addrMap.ranksPerChannel()));
+        loc.bank = static_cast<unsigned>(
+            junkRng.randUnder(addrMap.banksPerRank()));
+        loc.row = junkRng.randUnder(addrMap.rowsPerBank());
+        loc.column = static_cast<unsigned>(
+            junkRng.randUnder(addrMap.blocksPerRow()));
+        return addrMap.encode(loc);
+      }
+    }
+    panic("unreachable");
+}
+
+void
+ObfusMemProcSide::access(MemPacket pkt, PacketCallback cb)
+{
+    unsigned channel = addrMap.decode(pkt.addr).channel;
+
+    // Session Key Table lookup + pad XOR (+ MAC latency when
+    // authenticating) before the messages reach the bus. Pads are
+    // pregenerated because future counter values are known.
+    Tick lat = params.keyTableLatency + params.xorLatency
+               + (params.auth ? mac.senderLatency() : 0);
+    scheduleAfter(lat,
+        [this, channel, pkt = std::move(pkt),
+         cb = std::move(cb)]() mutable {
+            ChannelState &cs = channelState[channel];
+            if (params.timingOblivious) {
+                // Requests wait for their channel's next epoch slot;
+                // the wire carries one group per epoch regardless.
+                cs.epochQueue.push_back(
+                    {std::move(pkt), std::move(cb)});
+                ensureHeartbeats();
+                return;
+            }
+            if (pkt.isWrite()) {
+                // Writes are buffered; reads have channel priority.
+                cs.writeQueue.push_back(
+                    {std::move(pkt), std::move(cb)});
+                maybeDrainWrites(channel);
+                return;
+            }
+            // Write-buffer forwarding: a read must observe buffered
+            // write data, and never needs the channel for it.
+            for (auto it = cs.writeQueue.rbegin();
+                 it != cs.writeQueue.rend(); ++it) {
+                if (it->pkt.addr == pkt.addr) {
+                    ++forwardedFromWriteQueue;
+                    pkt.data = it->pkt.data;
+                    cb(std::move(pkt));
+                    return;
+                }
+            }
+            injectChannelDummies(channel);
+            sendGroup(channel, std::move(pkt), std::move(cb));
+        });
+}
+
+bool
+ObfusMemProcSide::quiescent() const
+{
+    for (const ChannelState &cs : channelState) {
+        if (!cs.epochQueue.empty() || cs.outstandingReads > 0
+            || !cs.writeQueue.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+ObfusMemProcSide::ensureHeartbeats()
+{
+    for (unsigned c = 0; c < channelState.size(); ++c) {
+        ChannelState &cs = channelState[c];
+        if (!cs.heartbeatActive) {
+            cs.heartbeatActive = true;
+            scheduleAfter(0, [this, c]() { heartbeat(c); });
+        }
+    }
+}
+
+void
+ObfusMemProcSide::heartbeat(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (quiescent()) {
+        // Pause the constant-rate stream only when the controller is
+        // globally idle; attackers learn at most the program's
+        // coarse activity envelope (paper Sec. 6.1's footprint
+        // caveat applies the same way).
+        cs.heartbeatActive = false;
+        return;
+    }
+
+    if (!cs.epochQueue.empty()) {
+        QueuedWrite req = std::move(cs.epochQueue.front());
+        cs.epochQueue.pop_front();
+        sendGroup(channel, std::move(req.pkt), std::move(req.cb));
+    } else {
+        sendDummyGroup(channel);
+    }
+    scheduleAfter(params.issueEpoch,
+                  [this, channel]() { heartbeat(channel); });
+}
+
+void
+ObfusMemProcSide::maybeDrainWrites(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.writeQueue.size() >= params.writeQueueHighWatermark)
+        cs.drainingWrites = true;
+
+    while (!cs.writeQueue.empty()
+           && cs.pending.size() < params.maxOutstandingGroups
+           && (cs.drainingWrites || cs.outstandingReads == 0)) {
+        QueuedWrite qw = std::move(cs.writeQueue.front());
+        cs.writeQueue.pop_front();
+        sendGroup(channel, std::move(qw.pkt), std::move(qw.cb));
+        if (cs.writeQueue.size() <= params.writeQueueLowWatermark)
+            cs.drainingWrites = false;
+        if (!cs.drainingWrites)
+            break; // the dummy read now outstanding paces us
+    }
+}
+
+void
+ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
+                            PacketCallback cb)
+{
+    ChannelState &cs = channelState[channel];
+    uint64_t ctr = cs.reqCounter;
+    cs.reqCounter += countersPerRequestGroup;
+    padsUsed += countersPerRequestGroup;
+
+    if (params.uniformPackets) {
+        // One fixed-size message per request; every request expects a
+        // fixed-size reply.
+        WireHeader hdr;
+        hdr.cmd = pkt.cmd;
+        hdr.addr = pkt.addr;
+        hdr.tag = allocTag(cs);
+        const bool is_read = pkt.isRead();
+
+        DataBlock payload;
+        if (is_read) {
+            junkRng.fillBytes(payload.data(), payload.size());
+        } else {
+            payload = pkt.data;
+        }
+
+        WireMessage msg;
+        msg.cipherHeader = encryptHeader(cs.tx, ctr, hdr);
+        msg.hasData = true;
+        msg.cipherData = cryptPayload(cs.tx, ctr + 2, payload);
+        if (params.auth) {
+            msg.hasMac = true;
+            msg.mac = mac.compute(hdr, ctr);
+        }
+
+        ++cs.outstandingReads;
+        if (is_read) {
+            ++realReads;
+            cs.pending[hdr.tag] = {std::move(pkt), std::move(cb),
+                                   false};
+            transmit(channel, std::move(msg));
+        } else {
+            ++realWrites;
+            // The write's junk reply is discarded; completion is
+            // posted at delivery, as in the split scheme.
+            cs.pending[hdr.tag] = {MemPacket{}, nullptr, true};
+            uint64_t snoop_addr = msg.snoopAddr();
+            uint32_t bytes = msg.wireBytes(params.headerWireBytes,
+                                           params.macWireBytes);
+            cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, true,
+                [this, channel, msg = std::move(msg),
+                 pkt = std::move(pkt),
+                 cb = std::move(cb)]() mutable {
+                    ChannelState &cs2 = channelState[channel];
+                    panic_if(!cs2.toMem, "no request target wired");
+                    cs2.toMem(std::move(msg));
+                    if (cb)
+                        cb(std::move(pkt));
+                });
+        }
+        return;
+    }
+
+    if (pkt.isRead()) {
+        ++realReads;
+        ++pairedDummies;
+        // Message 1: the real read request.
+        WireHeader hdr;
+        hdr.cmd = MemCmd::Read;
+        hdr.addr = pkt.addr;
+        hdr.tag = allocTag(cs);
+        cs.pending[hdr.tag] = {std::move(pkt), std::move(cb), false};
+        ++cs.outstandingReads;
+
+        WireMessage msg1;
+        msg1.cipherHeader = encryptHeader(cs.tx, ctr, hdr);
+        if (params.auth) {
+            msg1.hasMac = true;
+            msg1.mac = mac.compute(hdr, ctr);
+        }
+        transmit(channel, std::move(msg1));
+
+        // Message 2: the paired write. When writes are piling up, a
+        // real one substitutes for the dummy - same wire pattern, no
+        // wasted bandwidth (the Sec. 3.3 optimization that makes the
+        // split scheme beat uniform packets). Below the watermark the
+        // droppable dummy is cheaper for the PCM banks.
+        if (cs.writeQueue.size() > params.writeQueueLowWatermark) {
+            ++pairSubstitutions;
+            QueuedWrite qw = std::move(cs.writeQueue.front());
+            cs.writeQueue.pop_front();
+
+            WireHeader whdr;
+            whdr.cmd = MemCmd::Write;
+            whdr.addr = qw.pkt.addr;
+            WireMessage msg2;
+            msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, whdr);
+            msg2.hasData = true;
+            msg2.cipherData =
+                cryptPayload(cs.tx, ctr + 2, qw.pkt.data);
+            if (params.auth) {
+                msg2.hasMac = true;
+                msg2.mac = mac.compute(whdr, ctr + 1);
+            }
+            uint64_t snoop_addr = msg2.snoopAddr();
+            uint32_t bytes = msg2.wireBytes(params.headerWireBytes,
+                                            params.macWireBytes);
+            cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, true,
+                [this, channel, msg2 = std::move(msg2),
+                 qw = std::move(qw)]() mutable {
+                    ChannelState &cs2 = channelState[channel];
+                    panic_if(!cs2.toMem, "no request target wired");
+                    cs2.toMem(std::move(msg2));
+                    if (qw.cb)
+                        qw.cb(std::move(qw.pkt));
+                });
+            return;
+        }
+
+        WireHeader dummy_hdr;
+        dummy_hdr.cmd = MemCmd::Write;
+        dummy_hdr.addr = dummyAddrFor(channel, hdr.addr);
+        dummy_hdr.dummy = true;
+        WireMessage msg2;
+        msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, dummy_hdr);
+        msg2.hasData = true;
+        DataBlock junk;
+        junkRng.fillBytes(junk.data(), junk.size());
+        msg2.cipherData = cryptPayload(cs.tx, ctr + 2, junk);
+        if (params.auth) {
+            msg2.hasMac = true;
+            msg2.mac = mac.compute(dummy_hdr, ctr + 1);
+        }
+        transmit(channel, std::move(msg2));
+        return;
+    }
+
+    // Real write: preceded by a dummy read (reads are latency
+    // critical, writes are not - paper Sec. 3.3).
+    ++realWrites;
+    ++pairedDummies;
+    WireHeader dummy_hdr;
+    dummy_hdr.cmd = MemCmd::Read;
+    dummy_hdr.addr = dummyAddrFor(channel, pkt.addr);
+    dummy_hdr.dummy = true;
+    dummy_hdr.tag = allocTag(cs);
+    cs.pending[dummy_hdr.tag] = {MemPacket{}, nullptr, true};
+    ++cs.outstandingReads;
+
+    WireMessage msg1;
+    msg1.cipherHeader = encryptHeader(cs.tx, ctr, dummy_hdr);
+    if (params.auth) {
+        msg1.hasMac = true;
+        msg1.mac = mac.compute(dummy_hdr, ctr);
+    }
+    transmit(channel, std::move(msg1));
+
+    WireHeader hdr;
+    hdr.cmd = MemCmd::Write;
+    hdr.addr = pkt.addr;
+    WireMessage msg2;
+    msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, hdr);
+    msg2.hasData = true;
+    // Second encryption on top of the memory-encryption ciphertext:
+    // hides temporal reuse of unmodified data (Observation 1).
+    msg2.cipherData = cryptPayload(cs.tx, ctr + 2, pkt.data);
+    if (params.auth) {
+        msg2.hasMac = true;
+        msg2.mac = mac.compute(hdr, ctr + 1);
+    }
+
+    // The write is posted: complete it to the requester when the
+    // message has fully crossed the bus.
+    ChannelState &state = channelState[channel];
+    uint64_t snoop_addr = msg2.snoopAddr();
+    uint32_t bytes = msg2.wireBytes(params.headerWireBytes, params.macWireBytes);
+    bool is_data = msg2.hasData;
+    state.bus->send(BusDir::ToMemory, bytes, snoop_addr, is_data,
+        [this, channel, msg2 = std::move(msg2), pkt = std::move(pkt),
+         cb = std::move(cb)]() mutable {
+            ChannelState &cs2 = channelState[channel];
+            panic_if(!cs2.toMem, "no request target wired");
+            cs2.toMem(std::move(msg2));
+            if (cb)
+                cb(std::move(pkt));
+        });
+}
+
+void
+ObfusMemProcSide::sendDummyGroup(unsigned channel)
+{
+    ++channelFillGroups;
+    ChannelState &cs = channelState[channel];
+    uint64_t ctr = cs.reqCounter;
+    cs.reqCounter += countersPerRequestGroup;
+    padsUsed += countersPerRequestGroup;
+
+    if (params.uniformPackets) {
+        // One uniform dummy read message fills the channel.
+        WireHeader rd;
+        rd.cmd = MemCmd::Read;
+        rd.addr = cs.dummyAddr;
+        rd.dummy = true;
+        rd.tag = allocTag(cs);
+        cs.pending[rd.tag] = {MemPacket{}, nullptr, true};
+        ++cs.outstandingReads;
+
+        WireMessage msg;
+        msg.cipherHeader = encryptHeader(cs.tx, ctr, rd);
+        msg.hasData = true;
+        DataBlock junk;
+        junkRng.fillBytes(junk.data(), junk.size());
+        msg.cipherData = cryptPayload(cs.tx, ctr + 2, junk);
+        if (params.auth) {
+            msg.hasMac = true;
+            msg.mac = mac.compute(rd, ctr);
+        }
+        transmit(channel, std::move(msg));
+        return;
+    }
+
+    WireHeader rd;
+    rd.cmd = MemCmd::Read;
+    rd.addr = dummyAddrFor(channel, cs.dummyAddr);
+    rd.dummy = true;
+    rd.tag = allocTag(cs);
+    cs.pending[rd.tag] = {MemPacket{}, nullptr, true};
+    ++cs.outstandingReads;
+
+    WireMessage msg1;
+    msg1.cipherHeader = encryptHeader(cs.tx, ctr, rd);
+    if (params.auth) {
+        msg1.hasMac = true;
+        msg1.mac = mac.compute(rd, ctr);
+    }
+    transmit(channel, std::move(msg1));
+
+    WireHeader wr;
+    wr.cmd = MemCmd::Write;
+    wr.addr = dummyAddrFor(channel, cs.dummyAddr);
+    wr.dummy = true;
+    WireMessage msg2;
+    msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, wr);
+    msg2.hasData = true;
+    DataBlock junk;
+    junkRng.fillBytes(junk.data(), junk.size());
+    msg2.cipherData = cryptPayload(cs.tx, ctr + 2, junk);
+    if (params.auth) {
+        msg2.hasMac = true;
+        msg2.mac = mac.compute(wr, ctr + 1);
+    }
+    transmit(channel, std::move(msg2));
+}
+
+void
+ObfusMemProcSide::injectChannelDummies(unsigned active_channel)
+{
+    if (params.channelScheme == ChannelScheme::None
+        || channelState.size() <= 1) {
+        return;
+    }
+    for (unsigned c = 0; c < channelState.size(); ++c) {
+        if (c == active_channel)
+            continue;
+        ChannelState &cs = channelState[c];
+        if (params.channelScheme == ChannelScheme::Opt) {
+            bool idle = cs.bus->idle() && cs.outstandingReads == 0;
+            if (!idle)
+                continue;
+        }
+        // Substitute a real buffered write for the dummy when one is
+        // waiting: same wire pattern, no wasted bandwidth (Sec. 3.3).
+        if (!cs.writeQueue.empty()) {
+            ++realFillSubstitutions;
+            QueuedWrite qw = std::move(cs.writeQueue.front());
+            cs.writeQueue.pop_front();
+            sendGroup(c, std::move(qw.pkt), std::move(qw.cb));
+            continue;
+        }
+        sendDummyGroup(c);
+    }
+}
+
+void
+ObfusMemProcSide::transmit(unsigned channel, WireMessage msg)
+{
+    ChannelState &cs = channelState[channel];
+    uint64_t snoop_addr = msg.snoopAddr();
+    uint32_t bytes = msg.wireBytes(params.headerWireBytes, params.macWireBytes);
+    bool is_data = msg.hasData;
+    cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, is_data,
+        [this, channel, msg = std::move(msg)]() mutable {
+            ChannelState &cs2 = channelState[channel];
+            panic_if(!cs2.toMem, "no request target wired");
+            cs2.toMem(std::move(msg));
+        });
+}
+
+void
+ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
+{
+    ChannelState &cs = channelState[channel];
+    uint64_t ctr = cs.respCounter;
+    cs.respCounter += countersPerReply;
+    padsUsed += countersPerReply;
+
+    std::optional<WireHeader> hdr =
+        decryptHeader(cs.rx, ctr, msg.cipherHeader);
+    if (!hdr) {
+        ++headerDesyncs;
+        return;
+    }
+    if (params.auth) {
+        if (!msg.hasMac || !mac.verify(*hdr, ctr, msg.mac)) {
+            ++macFailures;
+            return;
+        }
+    }
+
+    DataBlock data = cryptPayload(cs.rx, ctr + 1, msg.cipherData);
+
+    auto it = cs.pending.find(hdr->tag);
+    if (it == cs.pending.end()) {
+        ++headerDesyncs; // reply for an unknown tag
+        return;
+    }
+    PendingRead pending = std::move(it->second);
+    cs.pending.erase(it);
+    panic_if(cs.outstandingReads == 0, "outstanding underflow");
+    --cs.outstandingReads;
+
+    if (pending.dummy) {
+        ++repliesDiscarded;
+        maybeDrainWrites(channel);
+        return;
+    }
+
+    Tick lat = params.xorLatency
+               + (params.auth ? mac.receiverLatency() : 0);
+    scheduleAfter(lat,
+        [pending = std::move(pending), data]() mutable {
+            pending.pkt.data = data;
+            pending.cb(std::move(pending.pkt));
+        });
+    maybeDrainWrites(channel);
+}
+
+} // namespace obfusmem

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The processor-side ObfusMem controller (paper Fig. 3): encrypts
+ * commands, addresses and (already memory-encrypted) data with
+ * per-channel session keys and counters, pairs every real request
+ * with a dummy of the opposite type so the bus always shows
+ * read-then-write groups, and injects dummy groups on other channels
+ * per the UNOPT/OPT inter-channel schemes.
+ */
+
+#ifndef OBFUSMEM_OBFUSMEM_PROC_SIDE_HH
+#define OBFUSMEM_OBFUSMEM_PROC_SIDE_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/ctr_mode.hh"
+#include "mem/address_map.hh"
+#include "mem/channel_bus.hh"
+#include "mem/packet.hh"
+#include "obfusmem/params.hh"
+#include "obfusmem/wire_format.hh"
+#include "sim/sim_object.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+
+/**
+ * The processor-side controller for all channels. Implements MemSink,
+ * sitting below the memory-encryption engine.
+ */
+class ObfusMemProcSide : public SimObject, public MemSink
+{
+  public:
+    /**
+     * @param session_keys One AES session key per channel (from the
+     *        boot-time DH exchange).
+     * @param buses One ChannelBus per channel.
+     * @param dummy_addrs Reserved dummy block address per channel.
+     */
+    ObfusMemProcSide(const std::string &name, EventQueue &eq,
+                     statistics::Group *parent,
+                     const ObfusMemParams &params,
+                     const AddressMap &map,
+                     const std::vector<crypto::Aes128::Key>
+                         &session_keys,
+                     const std::vector<ChannelBus *> &buses,
+                     const std::vector<uint64_t> &dummy_addrs);
+
+    void access(MemPacket pkt, PacketCallback cb) override;
+
+    /** Wire the request receiver (memory side) for a channel. */
+    void
+    setRequestTarget(unsigned channel,
+                     std::function<void(WireMessage &&)> target)
+    {
+        channelState[channel].toMem = std::move(target);
+    }
+
+    /** Replies delivered from a channel's memory side. */
+    void receiveReply(unsigned channel, WireMessage &&msg);
+
+    uint64_t tamperDetections() const
+    {
+        return static_cast<uint64_t>(macFailures.value());
+    }
+
+    uint64_t desyncEvents() const
+    {
+        return static_cast<uint64_t>(headerDesyncs.value());
+    }
+
+    uint64_t padsGenerated() const
+    {
+        return static_cast<uint64_t>(padsUsed.value());
+    }
+
+    uint64_t dummyGroupsInjected() const
+    {
+        return static_cast<uint64_t>(channelFillGroups.value());
+    }
+
+    /** Test hook: skew a channel's response counter. */
+    void
+    skewResponseCounter(unsigned channel, uint64_t delta)
+    {
+        channelState[channel].respCounter += delta;
+    }
+
+  private:
+    struct PendingRead
+    {
+        MemPacket pkt;
+        PacketCallback cb;
+        bool dummy = false;
+    };
+
+    /** A write group waiting in the controller's write buffer. */
+    struct QueuedWrite
+    {
+        MemPacket pkt;
+        PacketCallback cb;
+    };
+
+    struct ChannelState
+    {
+        crypto::AesCtr tx; // processor -> memory
+        crypto::AesCtr rx; // memory -> processor
+        uint64_t reqCounter = 0;
+        uint64_t respCounter = 0;
+        uint16_t nextTag = 1;
+        unsigned outstandingReads = 0;
+        uint64_t dummyAddr = 0;
+        ChannelBus *bus = nullptr;
+        std::function<void(WireMessage &&)> toMem;
+        std::unordered_map<uint16_t, PendingRead> pending;
+        std::deque<QueuedWrite> writeQueue;
+        bool drainingWrites = false;
+        /** Timing-oblivious mode: FIFO of requests awaiting an
+         * epoch slot, and whether the heartbeat is running. */
+        std::deque<QueuedWrite> epochQueue;
+        bool heartbeatActive = false;
+    };
+
+    /** Send one request group (real + paired dummy) on a channel. */
+    void sendGroup(unsigned channel, MemPacket pkt, PacketCallback cb);
+
+    /** Drain buffered write groups per the read-priority policy. */
+    void maybeDrainWrites(unsigned channel);
+
+    /** Start heartbeats on every channel (timing-oblivious mode). */
+    void ensureHeartbeats();
+
+    /** One epoch tick of a channel's timing-oblivious issue slot. */
+    void heartbeat(unsigned channel);
+
+    /** True when nothing is queued or in flight anywhere. */
+    bool quiescent() const;
+
+    /** Send an all-dummy group (inter-channel fill). */
+    void sendDummyGroup(unsigned channel);
+
+    /** Inject dummies on other channels per the configured scheme. */
+    void injectChannelDummies(unsigned active_channel);
+
+    /** Put one message on a channel's bus. */
+    void transmit(unsigned channel, WireMessage msg);
+
+    uint64_t dummyAddrFor(unsigned channel, uint64_t real_addr);
+    uint16_t allocTag(ChannelState &cs);
+
+    ObfusMemParams params;
+    const AddressMap &addrMap;
+    MacEngine mac;
+    std::vector<ChannelState> channelState;
+    Random junkRng;
+
+    statistics::Scalar realReads, realWrites;
+    statistics::Scalar pairedDummies;
+    statistics::Scalar channelFillGroups;
+    statistics::Scalar repliesDiscarded;
+    statistics::Scalar macFailures, headerDesyncs;
+    statistics::Scalar padsUsed;
+    statistics::Scalar forwardedFromWriteQueue;
+    statistics::Scalar realFillSubstitutions;
+    statistics::Scalar pairSubstitutions;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_OBFUSMEM_PROC_SIDE_HH

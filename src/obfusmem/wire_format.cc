@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Wire format implementation.
+ */
+
+#include "obfusmem/wire_format.hh"
+
+namespace obfusmem {
+
+namespace {
+
+/** Sanity magic embedded in every header plaintext. */
+constexpr uint8_t magic0 = 0x0b;
+constexpr uint8_t magic1 = 0xf5;
+
+} // namespace
+
+crypto::Block128
+WireHeader::pack() const
+{
+    crypto::Block128 b{};
+    b[0] = cmd == MemCmd::Write ? 1 : 0;
+    crypto::storeLe64(b.data() + 1, addr);
+    b[9] = static_cast<uint8_t>(tag);
+    b[10] = static_cast<uint8_t>(tag >> 8);
+    b[11] = magic0;
+    b[12] = magic1;
+    b[13] = dummy ? 1 : 0;
+    return b;
+}
+
+std::optional<WireHeader>
+WireHeader::unpack(const crypto::Block128 &b)
+{
+    if (b[11] != magic0 || b[12] != magic1 || b[0] > 1 || b[13] > 1)
+        return std::nullopt;
+    WireHeader hdr;
+    hdr.cmd = b[0] ? MemCmd::Write : MemCmd::Read;
+    hdr.addr = crypto::loadLe64(b.data() + 1);
+    hdr.tag = static_cast<uint16_t>(b[9])
+              | (static_cast<uint16_t>(b[10]) << 8);
+    hdr.dummy = b[13] != 0;
+    return hdr;
+}
+
+crypto::Block128
+encryptHeader(const crypto::AesCtr &ctr, uint64_t counter,
+              const WireHeader &hdr)
+{
+    return crypto::xorBlocks(hdr.pack(), ctr.pad(counter));
+}
+
+std::optional<WireHeader>
+decryptHeader(const crypto::AesCtr &ctr, uint64_t counter,
+              const crypto::Block128 &cipher)
+{
+    return WireHeader::unpack(
+        crypto::xorBlocks(cipher, ctr.pad(counter)));
+}
+
+DataBlock
+cryptPayload(const crypto::AesCtr &ctr, uint64_t counter,
+             const DataBlock &in)
+{
+    DataBlock out = in;
+    ctr.applyKeystream(out.data(), out.size(), counter);
+    return out;
+}
+
+} // namespace obfusmem

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The ObfusMem wire format: what actually travels on the exposed
+ * memory channel.
+ *
+ * Every message carries a 128-bit encrypted header (command, address,
+ * tag, sanity magic), optionally a 64-byte encrypted data payload, and
+ * optionally a 128-bit MAC. Counter values are never transmitted: both
+ * endpoints keep synchronized counters, which is also what makes
+ * replay/drop attacks detectable (paper Sec. 3.5).
+ *
+ * Counter discipline (paper Fig. 3): each request group consumes six
+ * counter values - pad 0 for the first message's header, pad 1 for the
+ * second (paired dummy) message's header, pads 2-5 for the 64-byte
+ * payload carried by whichever of the two messages has data. Each
+ * read reply consumes five values (header + 4 data pads).
+ */
+
+#ifndef OBFUSMEM_OBFUSMEM_WIRE_FORMAT_HH
+#define OBFUSMEM_OBFUSMEM_WIRE_FORMAT_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/ctr_mode.hh"
+#include "crypto/md5.hh"
+#include "mem/packet.hh"
+
+namespace obfusmem {
+
+/** Plaintext contents of a message header. */
+struct WireHeader
+{
+    MemCmd cmd = MemCmd::Read;
+    uint64_t addr = 0;
+    /** Matches replies to outstanding requests; encrypted on wire. */
+    uint16_t tag = 0;
+    /**
+     * Dummy-request marker. It travels *inside* the encrypted header,
+     * so it is invisible on the wire but lets the (trusted) memory
+     * side drop or specially handle dummies under the non-fixed
+     * dummy-address policies.
+     */
+    bool dummy = false;
+
+    /** Serialize into a 128-bit block (before encryption). */
+    crypto::Block128 pack() const;
+
+    /**
+     * Parse a decrypted header block.
+     * @return header, or nullopt if the sanity magic is wrong (pad
+     *         misalignment / tampering / counter desync).
+     */
+    static std::optional<WireHeader> unpack(const crypto::Block128 &b);
+};
+
+/** A message as it appears on the channel. */
+struct WireMessage
+{
+    crypto::Block128 cipherHeader{};
+    bool hasData = false;
+    DataBlock cipherData{};
+    bool hasMac = false;
+    crypto::Md5Digest mac{};
+
+    /**
+     * Data-bus bytes this message occupies given the phy's header and
+     * MAC wire widths (see ObfusMemParams).
+     */
+    uint32_t
+    wireBytes(uint32_t header_bytes, uint32_t mac_bytes) const
+    {
+        uint32_t bytes = header_bytes;
+        if (hasData)
+            bytes += static_cast<uint32_t>(cipherData.size());
+        if (hasMac)
+            bytes += mac_bytes;
+        return bytes;
+    }
+
+    /** Low 64 bits of the ciphertext header (what a snooper logs). */
+    uint64_t snoopAddr() const
+    {
+        return crypto::loadLe64(cipherHeader.data());
+    }
+};
+
+/** Counter values consumed by one request group. */
+constexpr uint64_t countersPerRequestGroup = 6;
+/** Counter values consumed by one read reply. */
+constexpr uint64_t countersPerReply = 5;
+
+/** Encrypt a header with the pad for the given counter value. */
+crypto::Block128 encryptHeader(const crypto::AesCtr &ctr,
+                               uint64_t counter, const WireHeader &hdr);
+
+/** Decrypt and parse a header. */
+std::optional<WireHeader> decryptHeader(const crypto::AesCtr &ctr,
+                                        uint64_t counter,
+                                        const crypto::Block128 &cipher);
+
+/** Encrypt/decrypt a 64-byte payload with pads ctr..ctr+3. */
+DataBlock cryptPayload(const crypto::AesCtr &ctr, uint64_t counter,
+                       const DataBlock &in);
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_OBFUSMEM_WIRE_FORMAT_HH

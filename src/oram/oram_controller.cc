@@ -1,0 +1,181 @@
+/**
+ * @file
+ * ORAM timing model implementations.
+ */
+
+#include "oram/oram_controller.hh"
+
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+// ---------------------------------------------------------------------
+// OramFixedLatency
+// ---------------------------------------------------------------------
+
+OramFixedLatency::OramFixedLatency(const std::string &name,
+                                   EventQueue &eq,
+                                   statistics::Group *parent,
+                                   const Params &params_,
+                                   BackingStore &store_)
+    : SimObject(name, eq, parent), params(params_), store(store_)
+{
+    stats().addScalar("accesses", &accesses, "ORAM accesses");
+    stats().addScalar("pathBlocksRead", &pathBlocksRead,
+                      "blocks read along tree paths");
+    stats().addScalar("pathBlocksWritten", &pathBlocksWritten,
+                      "blocks written (evicted) along tree paths");
+}
+
+void
+OramFixedLatency::access(MemPacket pkt, PacketCallback cb)
+{
+    ++accesses;
+    // Every access reads a full path and evicts it afterwards,
+    // regardless of the request type (Sec. 2.3 / 5.2).
+    pathBlocksRead += static_cast<double>(pathBlocks());
+    pathBlocksWritten += static_cast<double>(pathBlocks());
+
+    // The controller pipeline admits a new path access at most once
+    // per initiation interval.
+    Tick start = std::max(curTick(), nextStartAt);
+    nextStartAt = start + params.initiationInterval;
+    Tick complete = start + params.accessLatency;
+
+    eventQueue().schedule(complete,
+        [this, pkt = std::move(pkt), cb = std::move(cb)]() mutable {
+            if (pkt.isRead()) {
+                pkt.data = store.read(pkt.addr);
+            } else {
+                store.write(pkt.addr, pkt.data);
+            }
+            cb(std::move(pkt));
+        });
+}
+
+// ---------------------------------------------------------------------
+// OramDetailed
+// ---------------------------------------------------------------------
+
+OramDetailed::OramDetailed(const std::string &name, EventQueue &eq,
+                           statistics::Group *parent,
+                           const Params &params_, MemSink &memory_)
+    : SimObject(name, eq, parent), params(params_), memory(memory_),
+      tree(params_.oram)
+{
+    stats().addScalar("accesses", &accesses, "ORAM accesses");
+    stats().addScalar("physicalTransfers", &physicalTransfers,
+                      "bucket blocks moved to/from memory");
+    stats().addAverage("accessLatencyNs", &accessLatencyNs,
+                       "end-to-end ORAM access latency");
+    stats().addAverage("stashOccupancy", &stashOccupancy,
+                       "stash size after each access");
+}
+
+uint64_t
+OramDetailed::slotAddr(const PathOram::SlotRef &slot) const
+{
+    return params.treeBase
+           + (slot.bucket * params.oram.bucketSize + slot.slot)
+                 * blockBytes;
+}
+
+void
+OramDetailed::access(MemPacket pkt, PacketCallback cb)
+{
+    queue.push_back({std::move(pkt), std::move(cb)});
+    if (!busy)
+        startNext();
+}
+
+void
+OramDetailed::startNext()
+{
+    if (queue.empty()) {
+        busy = false;
+        return;
+    }
+    busy = true;
+
+    QueuedAccess req = std::move(queue.front());
+    queue.pop_front();
+    ++accesses;
+    Tick started = curTick();
+
+    // Functional access first: it yields the data and the path slots.
+    uint64_t block_id = req.pkt.addr / blockBytes;
+    DataBlock result;
+    if (req.pkt.isRead()) {
+        result = tree.read(block_id);
+    } else {
+        tree.write(block_id, req.pkt.data);
+        result = req.pkt.data;
+    }
+    stashOccupancy.sample(static_cast<double>(tree.stashSize()));
+
+    std::vector<PathOram::SlotRef> slots = tree.lastPathSlots();
+
+    // Phase 1: read every path block; phase 2: write them all back.
+    struct Txn
+    {
+        MemPacket pkt;
+        PacketCallback cb;
+        DataBlock result;
+        std::vector<PathOram::SlotRef> slots;
+        size_t pendingReads = 0;
+        size_t pendingWrites = 0;
+        Tick started;
+    };
+    auto txn = std::make_shared<Txn>();
+    txn->pkt = std::move(req.pkt);
+    txn->cb = std::move(req.cb);
+    txn->result = result;
+    txn->slots = std::move(slots);
+    txn->pendingReads = txn->slots.size();
+    txn->started = started;
+
+    auto finish = [this, txn]() {
+        Tick done = curTick() + params.perBlockLatency;
+        accessLatencyNs.sample(ticksToNs(done - txn->started));
+        eventQueue().schedule(done, [this, txn]() {
+            MemPacket resp = std::move(txn->pkt);
+            if (resp.isRead())
+                resp.data = txn->result;
+            txn->cb(std::move(resp));
+            startNext();
+        });
+    };
+
+    auto startWrites = [this, txn, finish]() {
+        txn->pendingWrites = txn->slots.size();
+        for (const auto &slot : txn->slots) {
+            ++physicalTransfers;
+            MemPacket wr;
+            wr.cmd = MemCmd::Write;
+            wr.addr = slotAddr(slot);
+            wr.issueTick = curTick();
+            memory.access(std::move(wr),
+                [txn, finish](MemPacket &&) {
+                    if (--txn->pendingWrites == 0)
+                        finish();
+                });
+        }
+    };
+
+    for (const auto &slot : txn->slots) {
+        ++physicalTransfers;
+        MemPacket rd;
+        rd.cmd = MemCmd::Read;
+        rd.addr = slotAddr(slot);
+        rd.issueTick = curTick();
+        memory.access(std::move(rd),
+            [txn, startWrites](MemPacket &&) {
+                if (--txn->pendingReads == 0)
+                    startWrites();
+            });
+    }
+}
+
+} // namespace obfusmem

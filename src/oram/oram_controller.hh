@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Timing models for the ORAM baseline.
+ *
+ * OramFixedLatency reproduces the paper's deliberately *optimistic*
+ * evaluation model: every LLC miss or writeback costs a fixed 2500 ns
+ * (extrapolated from Freecursive ORAM [20]) with unlimited bandwidth,
+ * while still accounting the path's block reads/writes for the
+ * energy/lifetime analysis of Sec. 5.2.
+ *
+ * OramDetailed drives the real functional Path ORAM and issues every
+ * bucket-block transfer through the channel/PCM substrate, for the
+ * ablation comparing the paper's fixed-latency assumption against a
+ * device-level model.
+ */
+
+#ifndef OBFUSMEM_ORAM_ORAM_CONTROLLER_HH
+#define OBFUSMEM_ORAM_ORAM_CONTROLLER_HH
+
+#include <deque>
+
+#include "mem/backing_store.hh"
+#include "mem/packet.hh"
+#include "oram/path_oram.hh"
+#include "sim/sim_object.hh"
+
+namespace obfusmem {
+
+/**
+ * The paper's fixed-latency ORAM model.
+ */
+class OramFixedLatency : public SimObject, public MemSink
+{
+  public:
+    struct Params
+    {
+        /** Fixed access latency (paper Sec. 4: 2500 ns). */
+        Tick accessLatency = 2500 * tickPerNs;
+        /**
+         * Initiation interval of the (pipelined) ORAM controller:
+         * the serial stash/PosMap logic limits how often a new path
+         * access can start, even under the paper's optimistic
+         * unlimited-bandwidth assumption.
+         */
+        Tick initiationInterval = 300 * tickPerNs;
+        /** Path geometry for the side accounting (L=24, Z=4). */
+        unsigned levels = 24;
+        unsigned bucketSize = 4;
+    };
+
+    OramFixedLatency(const std::string &name, EventQueue &eq,
+                     statistics::Group *parent, const Params &params,
+                     BackingStore &store);
+
+    void access(MemPacket pkt, PacketCallback cb) override;
+
+    /** Path blocks transferred per access: (L+1)*Z each way. */
+    uint64_t pathBlocks() const
+    {
+        return static_cast<uint64_t>(params.levels + 1)
+               * params.bucketSize;
+    }
+
+    uint64_t blocksRead() const
+    {
+        return static_cast<uint64_t>(pathBlocksRead.value());
+    }
+
+    uint64_t blocksWritten() const
+    {
+        return static_cast<uint64_t>(pathBlocksWritten.value());
+    }
+
+    uint64_t accessCount() const
+    {
+        return static_cast<uint64_t>(accesses.value());
+    }
+
+  private:
+    Params params;
+    BackingStore &store;
+    Tick nextStartAt = 0;
+
+    statistics::Scalar accesses;
+    statistics::Scalar pathBlocksRead;
+    statistics::Scalar pathBlocksWritten;
+};
+
+/**
+ * Detailed Path ORAM: serial path reads/writes against the real
+ * memory substrate below (a PlainPath over buses and PCM).
+ */
+class OramDetailed : public SimObject, public MemSink
+{
+  public:
+    struct Params
+    {
+        PathOram::Params oram{};
+        /** Physical base address of the tree in memory. */
+        uint64_t treeBase = 0;
+        /** On-chip processing per block (decrypt/stash logic). */
+        Tick perBlockLatency = 2 * tickPerNs;
+    };
+
+    OramDetailed(const std::string &name, EventQueue &eq,
+                 statistics::Group *parent, const Params &params,
+                 MemSink &memory);
+
+    void access(MemPacket pkt, PacketCallback cb) override;
+
+    PathOram &oram() { return tree; }
+
+    uint64_t blocksTransferred() const
+    {
+        return static_cast<uint64_t>(physicalTransfers.value());
+    }
+
+  private:
+    struct QueuedAccess
+    {
+        MemPacket pkt;
+        PacketCallback cb;
+    };
+
+    void startNext();
+    uint64_t slotAddr(const PathOram::SlotRef &slot) const;
+
+    Params params;
+    MemSink &memory;
+    PathOram tree;
+
+    std::deque<QueuedAccess> queue;
+    bool busy = false;
+
+    statistics::Scalar accesses;
+    statistics::Scalar physicalTransfers;
+    statistics::Average accessLatencyNs;
+    statistics::Average stashOccupancy;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_ORAM_ORAM_CONTROLLER_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * PathOram implementation.
+ */
+
+#include "oram/path_oram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+PathOram::PathOram(const Params &params_)
+    : params(params_), rng(params_.seed)
+{
+    fatal_if(params.levels == 0 || params.levels > 30,
+             "unsupported tree height");
+    numLeaves = uint64_t{1} << params.levels;
+    numBuckets = (uint64_t{2} << params.levels) - 1;
+    slots.resize(numBuckets * params.bucketSize);
+}
+
+uint64_t
+PathOram::capacityBlocks() const
+{
+    return physicalBlocks() / 2;
+}
+
+uint64_t
+PathOram::bucketOnPath(uint64_t leaf, unsigned level) const
+{
+    // Heap numbering: root = 0; the leaf bucket for `leaf` is at
+    // index (2^L - 1) + leaf. Level 0 = root.
+    uint64_t node = (numLeaves - 1) + leaf;
+    for (unsigned up = params.levels; up > level; --up)
+        node = (node - 1) / 2;
+    return node;
+}
+
+DataBlock
+PathOram::read(uint64_t block_id)
+{
+    return access(block_id, nullptr);
+}
+
+void
+PathOram::write(uint64_t block_id, const DataBlock &data)
+{
+    access(block_id, &data);
+}
+
+DataBlock
+PathOram::access(uint64_t block_id, const DataBlock *new_data)
+{
+    ++accessCount;
+    lastSlots.clear();
+
+    // Position lookup; unmapped blocks get a fresh random leaf.
+    auto pos_it = posMap.find(block_id);
+    uint64_t leaf;
+    if (pos_it == posMap.end()) {
+        leaf = rng.randUnder(numLeaves);
+    } else {
+        leaf = pos_it->second;
+    }
+
+    // Read the whole path into the stash.
+    for (unsigned level = 0; level <= params.levels; ++level) {
+        uint64_t bucket = bucketOnPath(leaf, level);
+        for (unsigned s = 0; s < params.bucketSize; ++s) {
+            lastSlots.push_back({bucket, s});
+            Slot &slot = slots[bucket * params.bucketSize + s];
+            if (slot.valid) {
+                stash[slot.blockId] = {slot.leaf, slot.data};
+                slot.valid = false;
+            }
+        }
+    }
+
+    // Remap to a fresh random leaf (the heart of the obfuscation).
+    uint64_t new_leaf = rng.randUnder(numLeaves);
+    posMap[block_id] = new_leaf;
+
+    // Serve the request out of the stash.
+    auto stash_it = stash.find(block_id);
+    DataBlock result{};
+    if (stash_it == stash.end()) {
+        // First touch: deterministic junk, like uninitialized memory.
+        uint64_t x = block_id ^ 0x0bf5ceedULL;
+        for (auto &byte : result) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            byte = static_cast<uint8_t>(x);
+        }
+        stash[block_id] = {new_leaf, result};
+    } else {
+        stash_it->second.leaf = new_leaf;
+        result = stash_it->second.data;
+    }
+    if (new_data)
+        stash[block_id].data = *new_data;
+
+    // Write back: from the leaf up, greedily place stash blocks whose
+    // assigned path intersects this bucket.
+    for (int level = static_cast<int>(params.levels); level >= 0;
+         --level) {
+        uint64_t bucket = bucketOnPath(leaf, level);
+        unsigned placed = 0;
+        auto it = stash.begin();
+        while (it != stash.end() && placed < params.bucketSize) {
+            if (bucketOnPath(it->second.leaf, level) == bucket) {
+                Slot &slot =
+                    slots[bucket * params.bucketSize + placed];
+                slot.valid = true;
+                slot.blockId = it->first;
+                slot.leaf = it->second.leaf;
+                slot.data = it->second.data;
+                it = stash.erase(it);
+                ++placed;
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    maxStash = std::max(maxStash, stash.size());
+    if (stash.size() > params.stashLimit)
+        ++overflows;
+
+    return result;
+}
+
+bool
+PathOram::checkInvariant() const
+{
+    for (const auto &[block_id, leaf] : posMap) {
+        if (stash.count(block_id))
+            continue;
+        bool found = false;
+        for (unsigned level = 0; level <= params.levels && !found;
+             ++level) {
+            uint64_t bucket = bucketOnPath(leaf, level);
+            for (unsigned s = 0; s < params.bucketSize; ++s) {
+                const Slot &slot =
+                    slots[bucket * params.bucketSize + s];
+                if (slot.valid && slot.blockId == block_id) {
+                    if (slot.leaf != leaf)
+                        return false;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+double
+PathOram::occupancy() const
+{
+    uint64_t valid = 0;
+    for (const auto &slot : slots) {
+        if (slot.valid)
+            ++valid;
+    }
+    return static_cast<double>(valid) / slots.size();
+}
+
+std::optional<uint64_t>
+PathOram::leafOf(uint64_t block_id) const
+{
+    auto it = posMap.find(block_id);
+    if (it == posMap.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace obfusmem

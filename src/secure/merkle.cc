@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Sparse Merkle tree implementation.
+ */
+
+#include "secure/merkle.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+MerkleTree::MerkleTree(uint64_t num_leaves, unsigned arity_,
+                       const Digest &default_leaf)
+    : arity(arity_)
+{
+    fatal_if(num_leaves == 0, "empty Merkle tree");
+    fatal_if(arity < 2, "Merkle arity must be >= 2");
+
+    // Round the leaf count up to a full tree.
+    leaves = 1;
+    numLevels = 1;
+    while (leaves < num_leaves) {
+        leaves *= arity;
+        ++numLevels;
+    }
+
+    levelNodes.resize(numLevels);
+
+    // Default digests bottom-up from the untouched-leaf digest.
+    defaults.resize(numLevels);
+    defaults[0] = default_leaf;
+    for (unsigned level = 1; level < numLevels; ++level) {
+        crypto::Md5 ctx;
+        for (unsigned i = 0; i < arity; ++i) {
+            ctx.update(defaults[level - 1].data(),
+                       defaults[level - 1].size());
+        }
+        defaults[level] = ctx.finalize();
+    }
+}
+
+const MerkleTree::Digest &
+MerkleTree::defaultDigest(unsigned level) const
+{
+    return defaults[level];
+}
+
+MerkleTree::Digest
+MerkleTree::nodeDigest(unsigned level, uint64_t index) const
+{
+    const auto &nodes = levelNodes[level];
+    auto it = nodes.find(index);
+    return it != nodes.end() ? it->second : defaultDigest(level);
+}
+
+MerkleTree::Digest
+MerkleTree::hashChildren(unsigned child_level,
+                         uint64_t first_child) const
+{
+    crypto::Md5 ctx;
+    for (unsigned i = 0; i < arity; ++i) {
+        Digest d = nodeDigest(child_level, first_child + i);
+        ctx.update(d.data(), d.size());
+    }
+    return ctx.finalize();
+}
+
+void
+MerkleTree::update(uint64_t leaf, const Digest &leaf_digest)
+{
+    panic_if(leaf >= leaves, "leaf index out of range");
+    levelNodes[0][leaf] = leaf_digest;
+
+    uint64_t index = leaf;
+    for (unsigned level = 1; level < numLevels; ++level) {
+        uint64_t parent = index / arity;
+        levelNodes[level][parent] =
+            hashChildren(level - 1, parent * arity);
+        index = parent;
+    }
+}
+
+bool
+MerkleTree::verify(uint64_t leaf, const Digest &leaf_digest) const
+{
+    panic_if(leaf >= leaves, "leaf index out of range");
+    if (nodeDigest(0, leaf) != leaf_digest)
+        return false;
+
+    // Recompute the path and compare against the stored interior
+    // nodes (which an attacker with memory access could also have
+    // modified; the root is the trust anchor held on chip).
+    uint64_t index = leaf;
+    Digest current = leaf_digest;
+    for (unsigned level = 1; level < numLevels; ++level) {
+        uint64_t parent = index / arity;
+        uint64_t first_child = parent * arity;
+        crypto::Md5 ctx;
+        for (unsigned i = 0; i < arity; ++i) {
+            if (first_child + i == index) {
+                ctx.update(current.data(), current.size());
+            } else {
+                Digest d = nodeDigest(level - 1, first_child + i);
+                ctx.update(d.data(), d.size());
+            }
+        }
+        current = ctx.finalize();
+        if (current != nodeDigest(level, parent))
+            return false;
+        index = parent;
+    }
+    return true;
+}
+
+MerkleTree::Digest
+MerkleTree::root() const
+{
+    return nodeDigest(numLevels - 1, 0);
+}
+
+void
+MerkleTree::tamperLeaf(uint64_t leaf)
+{
+    panic_if(leaf >= leaves, "leaf index out of range");
+    Digest d = nodeDigest(0, leaf);
+    d[0] ^= 0xff;
+    // Write the corrupted digest WITHOUT recomputing the path: this is
+    // the attacker's modification, not a legitimate update.
+    levelNodes[0][leaf] = d;
+}
+
+} // namespace obfusmem

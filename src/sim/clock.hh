@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Clock domains: convert between cycles of a component clock and
+ * global ticks (picoseconds).
+ */
+
+#ifndef OBFUSMEM_SIM_CLOCK_HH
+#define OBFUSMEM_SIM_CLOCK_HH
+
+#include "sim/types.hh"
+
+namespace obfusmem {
+
+/**
+ * A fixed-frequency clock domain.
+ */
+class ClockDomain
+{
+  public:
+    /** @param period_ps Clock period in picoseconds. */
+    constexpr explicit ClockDomain(Tick period_ps)
+        : period_(period_ps)
+    {}
+
+    /** Construct from a frequency in MHz. */
+    static constexpr ClockDomain
+    fromMhz(uint64_t mhz)
+    {
+        return ClockDomain(1000000 / mhz);
+    }
+
+    constexpr Tick period() const { return period_; }
+
+    /** Ticks taken by n cycles. */
+    constexpr Tick cyclesToTicks(Cycles n) const { return n * period_; }
+
+    /** Whole cycles elapsed in t ticks (floor). */
+    constexpr Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+    /** Next tick at or after t that is aligned to a clock edge. */
+    constexpr Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % period_;
+        return rem ? t + (period_ - rem) : t;
+    }
+
+  private:
+    Tick period_;
+};
+
+/** The 2 GHz core clock from the paper's Table 2. */
+constexpr ClockDomain coreClock(500);
+/** The 800 MHz DDR bus clock from the paper's Table 2. */
+constexpr ClockDomain busClock(1250);
+/** The 250 MHz (4 ns) crypto-engine clock from the paper's Sec. 4. */
+constexpr ClockDomain cryptoClock(4000);
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_CLOCK_HH

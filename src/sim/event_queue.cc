@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Event queue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    panic_if(when < now, "scheduling event in the past (", when, " < ",
+             now, ")");
+    events.push({when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step(Tick limit)
+{
+    if (events.empty() || events.top().when > limit)
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never re-compare the moved
+    // element.
+    auto &top = const_cast<PendingEvent &>(events.top());
+    Tick when = top.when;
+    Callback cb = std::move(top.cb);
+    events.pop();
+    now = when;
+    ++executed;
+    cb();
+    return true;
+}
+
+uint64_t
+EventQueue::run(Tick limit)
+{
+    uint64_t count = 0;
+    while (step(limit))
+        ++count;
+    if (now < limit && limit != maxTick)
+        now = limit;
+    return count;
+}
+
+} // namespace obfusmem

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The discrete-event simulation kernel: a time-ordered queue of
+ * callbacks with deterministic FIFO ordering among same-tick events.
+ */
+
+#ifndef OBFUSMEM_SIM_EVENT_QUEUE_HH
+#define OBFUSMEM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace obfusmem {
+
+/**
+ * Central event queue. All timing behaviour in the simulator is
+ * expressed by scheduling callbacks here.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return now; }
+
+    /** Schedule a callback at an absolute tick (>= curTick). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback `delay` ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now + delay, std::move(cb));
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return events.size(); }
+
+    /**
+     * Run events until the queue drains or the time limit is passed.
+     *
+     * @param limit Stop before executing events later than this tick.
+     * @return Number of events executed.
+     */
+    uint64_t run(Tick limit = maxTick);
+
+    /**
+     * Execute a single event if one is pending within the limit.
+     * @return true if an event was executed.
+     */
+    bool step(Tick limit = maxTick);
+
+    /** Total events executed since construction. */
+    uint64_t eventsExecuted() const { return executed; }
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const PendingEvent &a, const PendingEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later>
+        events;
+    Tick now = 0;
+    uint64_t nextSeq = 0;
+    uint64_t executed = 0;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Common base for simulated components: a name, access to the event
+ * queue, and a statistics group.
+ */
+
+#ifndef OBFUSMEM_SIM_SIM_OBJECT_HH
+#define OBFUSMEM_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+
+namespace obfusmem {
+
+/**
+ * Base class for all timed components in the simulator.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param name Instance name (used as the stats group name).
+     * @param eq The shared event queue.
+     * @param parent_stats Parent statistics group, or nullptr for root.
+     */
+    SimObject(std::string name, EventQueue &eq,
+              statistics::Group *parent_stats)
+        : objName(std::move(name)), eventq(eq),
+          statGroup(objName.substr(objName.rfind('.') + 1), parent_stats)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return objName; }
+    Tick curTick() const { return eventq.curTick(); }
+    EventQueue &eventQueue() { return eventq; }
+    statistics::Group &stats() { return statGroup; }
+
+  protected:
+    /** Schedule a member callback after a delay. */
+    void
+    scheduleAfter(Tick delay, EventQueue::Callback cb)
+    {
+        eventq.scheduleAfter(delay, std::move(cb));
+    }
+
+  private:
+    std::string objName;
+    EventQueue &eventq;
+    statistics::Group statGroup;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental simulation time types. Following the gem5 convention,
+ * one Tick is one picosecond, so integer tick arithmetic represents
+ * all of the clock domains in the system exactly.
+ */
+
+#ifndef OBFUSMEM_SIM_TYPES_HH
+#define OBFUSMEM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace obfusmem {
+
+/** Simulated time in picoseconds. */
+using Tick = uint64_t;
+
+/** A cycle count within some clock domain. */
+using Cycles = uint64_t;
+
+/** Ticks per common time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** The far-future sentinel. */
+constexpr Tick maxTick = UINT64_MAX;
+
+/** Convert ticks to (double) nanoseconds for reporting. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / tickPerNs;
+}
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_TYPES_HH

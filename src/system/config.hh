@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Top-level system configuration: protection mode plus the parameters
+ * of every substrate, defaulting to the paper's Table 2 machine.
+ */
+
+#ifndef OBFUSMEM_SYSTEM_CONFIG_HH
+#define OBFUSMEM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/cache_hierarchy.hh"
+#include "cpu/core.hh"
+#include "mem/pcm_params.hh"
+#include "obfusmem/params.hh"
+#include "oram/oram_controller.hh"
+#include "secure/encryption_engine.hh"
+
+namespace obfusmem {
+
+/** The protection configurations evaluated in the paper. */
+enum class ProtectionMode
+{
+    /** No protection at all (the normalization baseline). */
+    Unprotected,
+    /** Counter-mode memory encryption + Merkle integrity only. */
+    EncryptionOnly,
+    /** Encryption + ObfusMem access-pattern obfuscation. */
+    ObfusMem,
+    /** ObfusMem + authenticated communication (the full design). */
+    ObfusMemAuth,
+    /** Path ORAM with the paper's optimistic fixed 2500 ns latency. */
+    OramFixed,
+    /** Path ORAM driving the detailed PCM substrate. */
+    OramDetailed,
+};
+
+/** Human-readable mode name. */
+const char *protectionModeName(ProtectionMode mode);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    ProtectionMode mode = ProtectionMode::ObfusMemAuth;
+
+    /** Memory geometry (Table 2: 8 GB, 1/2/4/8 channels). */
+    uint64_t capacityBytes = 8ull << 30;
+    unsigned channels = 1;
+
+    /** Workload. */
+    std::string benchmark = "bwaves";
+    unsigned cores = 4;
+    uint64_t instrPerCore = 1000 * 1000;
+    uint64_t seed = 42;
+
+    /**
+     * Replay a recorded trace instead of the synthetic benchmark
+     * (see cpu/trace_workload.hh for the format). Every core replays
+     * the same trace; no cache warm-up is performed.
+     */
+    std::string traceFile;
+    /** Non-memory CPI charged during trace replay. */
+    double traceBaseCpi = 1.0;
+
+    HierarchyParams hierarchy{};
+    TraceCore::Params core{};
+    PcmParams pcm{};
+    ChannelBus::Params bus{};
+    EncryptionParams encryption{};
+    ObfusMemParams obfusmem{};
+    OramFixedLatency::Params oramFixed{};
+    OramDetailed::Params oramDetailed{};
+
+    /** Attach the attacker's bus observer. */
+    bool attachObserver = true;
+
+    /**
+     * Derive channel session keys with the real boot protocol
+     * (trusted-integrator DH) instead of a deterministic KDF.
+     */
+    bool runBootProtocol = false;
+
+    /** Memory layout (derived; override only for tests). */
+    uint64_t workloadRegionBytes() const
+    {
+        return (capacityBytes * 3 / 4) / cores;
+    }
+
+    uint64_t workloadBase(unsigned core_id) const
+    {
+        return core_id * workloadRegionBytes();
+    }
+
+    uint64_t counterRegionBase() const
+    {
+        return capacityBytes * 3 / 4 + (capacityBytes >> 5);
+    }
+
+    uint64_t bmtRegionBase() const
+    {
+        return capacityBytes * 3 / 4 + (capacityBytes >> 3);
+    }
+
+    uint64_t oramTreeBase() const
+    {
+        return capacityBytes * 3 / 4 + (capacityBytes >> 3)
+               + (capacityBytes >> 4);
+    }
+
+    /** Region the memory encryption engine protects. */
+    uint64_t dataRegionBytes() const { return capacityBytes * 3 / 4; }
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SYSTEM_CONFIG_HH

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * System assembly.
+ */
+
+#include "system/system.hh"
+
+#include <algorithm>
+
+#include "cpu/trace_workload.hh"
+#include "crypto/md5.hh"
+#include "trust/boot.hh"
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+const char *
+protectionModeName(ProtectionMode mode)
+{
+    switch (mode) {
+      case ProtectionMode::Unprotected: return "unprotected";
+      case ProtectionMode::EncryptionOnly: return "encryption-only";
+      case ProtectionMode::ObfusMem: return "obfusmem";
+      case ProtectionMode::ObfusMemAuth: return "obfusmem+auth";
+      case ProtectionMode::OramFixed: return "oram-fixed";
+      case ProtectionMode::OramDetailed: return "oram-detailed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Deterministic per-channel session key (when not running boot). */
+crypto::Aes128::Key
+kdfChannelKey(uint64_t seed, unsigned channel)
+{
+    uint8_t msg[16];
+    crypto::storeLe64(msg, seed);
+    crypto::storeLe64(msg + 8, channel);
+    crypto::Md5Digest d = crypto::Md5::digest(msg, sizeof(msg));
+    crypto::Aes128::Key key;
+    std::copy(d.begin(), d.end(), key.begin());
+    return key;
+}
+
+} // namespace
+
+System::System(const SystemConfig &config)
+    : cfg(config), root("system", nullptr)
+{
+    map = std::make_unique<AddressMap>(cfg.capacityBytes, cfg.channels);
+    store = std::make_unique<BackingStore>(cfg.capacityBytes);
+
+    buildMemoryPath();
+
+    caches = std::make_unique<CacheHierarchy>("system.caches", eq,
+                                              &root, cfg.hierarchy,
+                                              *memoryPath);
+    buildCores();
+}
+
+System::~System() = default;
+
+void
+System::buildMemoryPath()
+{
+    const bool needs_buses = cfg.mode != ProtectionMode::OramFixed;
+
+    if (needs_buses) {
+        if (cfg.attachObserver)
+            busObserver = std::make_unique<BusObserver>(cfg.channels);
+        for (unsigned c = 0; c < cfg.channels; ++c) {
+            buses.push_back(std::make_unique<ChannelBus>(
+                "system.bus" + std::to_string(c), eq, &root, c,
+                cfg.bus));
+            if (busObserver)
+                buses.back()->attachProbe(busObserver.get());
+            pcms.push_back(std::make_unique<PcmController>(
+                "system.pcm" + std::to_string(c), eq, &root, c, *map,
+                cfg.pcm, *store));
+        }
+    }
+
+    // Session keys for the ObfusMem modes.
+    if (cfg.mode == ProtectionMode::ObfusMem
+        || cfg.mode == ProtectionMode::ObfusMemAuth) {
+        if (cfg.runBootProtocol) {
+            Random boot_rng(cfg.seed ^ 0xb007b007ULL);
+            trust::Manufacturer proc_maker("ProcCorp", 256, boot_rng);
+            trust::Manufacturer mem_maker("MemCorp", 256, boot_rng);
+            trust::Component proc("cpu0", proc_maker, 256, true,
+                                  boot_rng);
+            trust::Component mem("dimm0", mem_maker, 256, true,
+                                 boot_rng);
+            proc.peerKeys().burn(mem.publicKey());
+            mem.peerKeys().burn(proc.publicKey());
+            trust::BootResult boot = trust::BootProtocol::run(
+                trust::BootApproach::TrustedIntegrator, proc, mem,
+                cfg.channels, boot_rng);
+            fatal_if(!boot.success, "boot protocol failed: ",
+                     boot.failureReason);
+            channelKeys = boot.channelKeys;
+        } else {
+            for (unsigned c = 0; c < cfg.channels; ++c)
+                channelKeys.push_back(kdfChannelKey(cfg.seed, c));
+        }
+    }
+
+    switch (cfg.mode) {
+      case ProtectionMode::Unprotected:
+      case ProtectionMode::EncryptionOnly: {
+        std::vector<ChannelBus *> bus_ptrs;
+        std::vector<PcmController *> pcm_ptrs;
+        for (unsigned c = 0; c < cfg.channels; ++c) {
+            bus_ptrs.push_back(buses[c].get());
+            pcm_ptrs.push_back(pcms[c].get());
+        }
+        plainPath = std::make_unique<PlainPath>(
+            "system.plainPath", eq, &root, *map, bus_ptrs, pcm_ptrs,
+            PlainPath::Params{});
+        if (cfg.mode == ProtectionMode::EncryptionOnly) {
+            EncryptionParams enc = cfg.encryption;
+            encEngine = std::make_unique<MemoryEncryptionEngine>(
+                "system.encEngine", eq, &root, enc, *plainPath,
+                cfg.dataRegionBytes(), cfg.counterRegionBase(),
+                cfg.bmtRegionBase(), kdfChannelKey(cfg.seed, 0xff));
+            memoryPath = encEngine.get();
+        } else {
+            memoryPath = plainPath.get();
+        }
+        break;
+      }
+
+      case ProtectionMode::ObfusMem:
+      case ProtectionMode::ObfusMemAuth: {
+        ObfusMemParams om = cfg.obfusmem;
+        om.auth = cfg.mode == ProtectionMode::ObfusMemAuth;
+
+        // Reserved per-channel dummy block: the very top row of the
+        // channel, far above every workload/metadata region.
+        std::vector<uint64_t> dummy_addrs;
+        std::vector<ChannelBus *> bus_ptrs;
+        for (unsigned c = 0; c < cfg.channels; ++c) {
+            DecodedAddr loc;
+            loc.channel = c;
+            loc.rank = map->ranksPerChannel() - 1;
+            loc.bank = map->banksPerRank() - 1;
+            loc.row = map->rowsPerBank() - 1;
+            loc.column = map->blocksPerRow() - 1;
+            dummy_addrs.push_back(map->encode(loc));
+            bus_ptrs.push_back(buses[c].get());
+        }
+
+        obfusProc = std::make_unique<ObfusMemProcSide>(
+            "system.obfusProc", eq, &root, om, *map, channelKeys,
+            bus_ptrs, dummy_addrs);
+
+        for (unsigned c = 0; c < cfg.channels; ++c) {
+            obfusMem.push_back(std::make_unique<ObfusMemMemSide>(
+                "system.obfusMem" + std::to_string(c), eq, &root, om,
+                c, channelKeys[c], *buses[c], *pcms[c], *store,
+                dummy_addrs[c]));
+            ObfusMemMemSide *side = obfusMem.back().get();
+            obfusProc->setRequestTarget(c,
+                [side](WireMessage &&msg) {
+                    side->receiveMessage(std::move(msg));
+                });
+            ObfusMemProcSide *proc = obfusProc.get();
+            side->setReplyTarget([proc, c](WireMessage &&msg) {
+                proc->receiveReply(c, std::move(msg));
+            });
+        }
+
+        EncryptionParams enc = cfg.encryption;
+        encEngine = std::make_unique<MemoryEncryptionEngine>(
+            "system.encEngine", eq, &root, enc, *obfusProc,
+            cfg.dataRegionBytes(), cfg.counterRegionBase(),
+            cfg.bmtRegionBase(), kdfChannelKey(cfg.seed, 0xff));
+        memoryPath = encEngine.get();
+        break;
+      }
+
+      case ProtectionMode::OramFixed: {
+        oramFixedCtl = std::make_unique<OramFixedLatency>(
+            "system.oram", eq, &root, cfg.oramFixed, *store);
+        memoryPath = oramFixedCtl.get();
+        break;
+      }
+
+      case ProtectionMode::OramDetailed: {
+        std::vector<ChannelBus *> bus_ptrs;
+        std::vector<PcmController *> pcm_ptrs;
+        for (unsigned c = 0; c < cfg.channels; ++c) {
+            bus_ptrs.push_back(buses[c].get());
+            pcm_ptrs.push_back(pcms[c].get());
+        }
+        plainPath = std::make_unique<PlainPath>(
+            "system.plainPath", eq, &root, *map, bus_ptrs, pcm_ptrs,
+            PlainPath::Params{});
+        OramDetailed::Params op = cfg.oramDetailed;
+        if (op.treeBase == 0)
+            op.treeBase = cfg.oramTreeBase();
+        oramDetailedCtl = std::make_unique<OramDetailed>(
+            "system.oram", eq, &root, op, *plainPath);
+        memoryPath = oramDetailedCtl.get();
+        break;
+      }
+    }
+
+    panic_if(memoryPath == nullptr, "memory path not built");
+}
+
+void
+System::buildCores()
+{
+    if (!cfg.traceFile.empty()) {
+        std::vector<MemOp> ops = loadTraceFile(cfg.traceFile);
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            cores.push_back(std::make_unique<TraceCore>(
+                "system.core" + std::to_string(c), eq, &root,
+                cfg.core,
+                WorkloadGenerator::fromTrace(ops, cfg.traceBaseCpi),
+                *caches, static_cast<int>(c), cfg.instrPerCore,
+                [this](Tick finish) {
+                    ++coresFinished;
+                    lastFinish = std::max(lastFinish, finish);
+                }));
+        }
+        return;
+    }
+
+    const BenchmarkProfile &profile =
+        BenchmarkProfile::byName(cfg.benchmark);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        WorkloadGenerator gen(profile, cfg.workloadBase(c),
+                              cfg.workloadRegionBytes(),
+                              cfg.seed * 1000003 + c);
+        cores.push_back(std::make_unique<TraceCore>(
+            "system.core" + std::to_string(c), eq, &root, cfg.core,
+            std::move(gen), *caches, static_cast<int>(c),
+            cfg.instrPerCore, [this](Tick finish) {
+                ++coresFinished;
+                lastFinish = std::max(lastFinish, finish);
+            }));
+    }
+
+    // Warm up, modelling the paper's fast-forward phase. First fill
+    // the L3 with the stream blocks each core just passed (dirty at
+    // the store fraction, so steady-state writeback traffic starts
+    // immediately)...
+    uint64_t l3_blocks = cfg.hierarchy.l3.sizeBytes / blockBytes;
+    uint64_t per_core = (l3_blocks * 9 / 10) / cfg.cores;
+    Random warm_rng(cfg.seed ^ 0x3a3a3a3aULL);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        WorkloadGenerator probe(profile, cfg.workloadBase(c),
+                                cfg.workloadRegionBytes(),
+                                cfg.seed * 1000003 + c);
+        uint64_t region_blocks = probe.streamRegionBlocks();
+        uint64_t start = probe.streamStartBlock();
+        for (uint64_t i = 1; i <= per_core; ++i) {
+            uint64_t block =
+                (start + region_blocks - i) % region_blocks;
+            uint64_t addr =
+                probe.streamRegionBase() + block * blockBytes;
+            bool dirty = warm_rng.chance(profile.storeFraction);
+            caches->preloadShared(addr, store->read(addr), dirty);
+        }
+    }
+
+    // ...then the hot working sets, which must stay resident.
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        uint64_t base = cfg.workloadBase(c);
+        for (uint64_t off = 0; off < profile.hotBytes;
+             off += blockBytes) {
+            caches->preload(static_cast<int>(c), base + off,
+                            store->read(base + off));
+        }
+    }
+}
+
+System::RunResult
+System::run()
+{
+    for (auto &core : cores)
+        core->start();
+
+    // Run until every core is done, then drain stragglers.
+    while (coresFinished < cores.size() && !eq.empty())
+        eq.step();
+    panic_if(coresFinished < cores.size(),
+             "event queue drained before cores finished");
+    eq.run();
+
+    RunResult result;
+    result.execTicks = lastFinish;
+    result.instructions = 0;
+    for (auto &core : cores)
+        result.instructions += core->instructionsRetired();
+    result.llcMisses = caches->llcMissCount();
+
+    double cycles =
+        static_cast<double>(lastFinish) / cfg.core.period;
+    result.ipc = cycles > 0
+                     ? (static_cast<double>(result.instructions)
+                        / cores.size())
+                           / cycles
+                     : 0.0;
+    result.mpki = result.instructions > 0
+                      ? 1000.0 * result.llcMisses / result.instructions
+                      : 0.0;
+    // Average per-core gap between memory requests (demand misses
+    // plus writebacks), matching Table 1's characterization.
+    double mem_reqs_per_core =
+        (result.llcMisses
+         + caches->stats().scalarValue("writebacks"))
+        / static_cast<double>(cores.size());
+    result.avgGapNs = mem_reqs_per_core > 0
+                          ? ticksToNs(result.execTicks)
+                                / mem_reqs_per_core
+                          : 0.0;
+
+    for (auto &pcm : pcms) {
+        result.cellWrites += pcm->cellBlockWrites();
+        result.pcmEnergyPj += pcm->energyPj();
+    }
+    if (!buses.empty()) {
+        double util = 0;
+        for (auto &bus : buses)
+            util += bus->utilization();
+        result.busUtilization = util / buses.size();
+    }
+    return result;
+}
+
+void
+System::timedLoad(int core, uint64_t addr, CacheHierarchy::DoneCb cb)
+{
+    caches->load(core, addr, eq.curTick(), std::move(cb));
+}
+
+void
+System::timedStore(int core, uint64_t addr, const DataBlock &data,
+                   CacheHierarchy::DoneCb cb)
+{
+    caches->store(core, addr, data, eq.curTick(), std::move(cb));
+}
+
+void
+System::flushAndDrain()
+{
+    bool flushed = false;
+    caches->flushAll(eq.curTick(), [&flushed](Tick) {
+        flushed = true;
+    });
+    eq.run();
+    panic_if(!flushed, "flush did not complete");
+}
+
+DataBlock
+System::functionalRead(uint64_t addr)
+{
+    addr = blockAlign(addr);
+    DataBlock out;
+    if (caches->peekBlock(addr, out))
+        return out;
+
+    if (cfg.mode == ProtectionMode::OramDetailed) {
+        // Test-only: the functional tree is authoritative.
+        return oramDetailedCtl->oram().read(addr / blockBytes);
+    }
+
+    DataBlock raw = store->read(addr);
+    if (encEngine && addr < cfg.dataRegionBytes())
+        return encEngine->debugDecrypt(addr, raw);
+    return raw;
+}
+
+} // namespace obfusmem

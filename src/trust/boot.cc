@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Boot protocol implementation.
+ */
+
+#include "trust/boot.hh"
+
+#include "crypto/md5.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+namespace trust {
+
+namespace {
+
+/** Sign a DH public value with a component's device key. */
+crypto::BigUint
+signDhValue(const Component &signer, const crypto::BigUint &value)
+{
+    std::vector<uint8_t> bytes = value.toBytes();
+    return signer.sign(bytes.data(), bytes.size());
+}
+
+bool
+verifyDhValue(const crypto::RsaPublicKey &key,
+              const crypto::BigUint &value,
+              const crypto::BigUint &signature)
+{
+    std::vector<uint8_t> bytes = value.toBytes();
+    return crypto::RsaKeyPair::verify(key, bytes.data(), bytes.size(),
+                                      signature);
+}
+
+} // namespace
+
+std::vector<crypto::Aes128::Key>
+BootProtocol::deriveChannelKeys(const crypto::BigUint &shared,
+                                unsigned channels)
+{
+    std::vector<crypto::Aes128::Key> keys;
+    std::vector<uint8_t> base = shared.toBytes();
+    for (unsigned c = 0; c < channels; ++c) {
+        std::vector<uint8_t> msg = base;
+        msg.push_back(static_cast<uint8_t>(c));
+        crypto::Md5Digest d = crypto::Md5::digest(msg.data(),
+                                                  msg.size());
+        crypto::Aes128::Key key;
+        std::copy(d.begin(), d.end(), key.begin());
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+BootResult
+BootProtocol::run(BootApproach approach, Component &processor,
+                  Component &memory, unsigned channels, Random &rng,
+                  MitmAttacker *attacker)
+{
+    switch (approach) {
+      case BootApproach::Naive:
+        return runNaive(processor, memory, channels, rng, attacker);
+      case BootApproach::TrustedIntegrator:
+        return runTrusted(processor, memory, channels, rng, attacker);
+      case BootApproach::UntrustedIntegrator:
+        return runAttested(processor, memory, channels, rng, attacker);
+    }
+    panic("unreachable");
+}
+
+BootResult
+BootProtocol::runNaive(Component &, Component &, unsigned channels,
+                       Random &rng, MitmAttacker *attacker)
+{
+    const auto &group = crypto::DhGroup::testGroup256();
+    crypto::DhEndpoint proc_ep(group, rng);
+    crypto::DhEndpoint mem_ep(group, rng);
+
+    BootResult result;
+    if (attacker) {
+        // The attacker intercepts both public values and substitutes
+        // its own. Nothing authenticates the exchange, so both sides
+        // complete the handshake happily - with the attacker.
+        crypto::BigUint proc_shared =
+            proc_ep.computeShared(attacker->procFacing.publicValue());
+        crypto::BigUint atk_proc_shared =
+            attacker->procFacing.computeShared(proc_ep.publicValue());
+        fatal_if(proc_shared != atk_proc_shared,
+                 "DH algebra violated");
+        result.success = true;
+        result.attackerHoldsKeys = true;
+        result.channelKeys = deriveChannelKeys(proc_shared, channels);
+        return result;
+    }
+
+    crypto::BigUint shared =
+        proc_ep.computeShared(mem_ep.publicValue());
+    crypto::BigUint shared2 =
+        mem_ep.computeShared(proc_ep.publicValue());
+    fatal_if(shared != shared2, "DH algebra violated");
+
+    result.success = true;
+    result.channelKeys = deriveChannelKeys(shared, channels);
+    return result;
+}
+
+BootResult
+BootProtocol::runTrusted(Component &proc, Component &mem,
+                         unsigned channels, Random &rng,
+                         MitmAttacker *attacker)
+{
+    BootResult result;
+
+    // The integrator must have burned each side's key into the other.
+    if (!proc.peerKeys().contains(mem.publicKey())
+        || !mem.peerKeys().contains(proc.publicKey())) {
+        result.failureReason = "peer key not present in registers";
+        return result;
+    }
+
+    const auto &group = crypto::DhGroup::testGroup256();
+    crypto::DhEndpoint proc_ep(group, rng);
+    crypto::DhEndpoint mem_ep(group, rng);
+
+    // Each side signs its DH contribution with its device key; the
+    // peer verifies against the burned public key.
+    crypto::BigUint proc_sig = signDhValue(proc, proc_ep.publicValue());
+    crypto::BigUint mem_sig = signDhValue(mem, mem_ep.publicValue());
+
+    crypto::BigUint proc_value = proc_ep.publicValue();
+    crypto::BigUint mem_value = mem_ep.publicValue();
+    if (attacker) {
+        // The attacker substitutes DH values but cannot forge the
+        // device-key signatures over them.
+        proc_value = attacker->memFacing.publicValue();
+        mem_value = attacker->procFacing.publicValue();
+    }
+
+    if (!verifyDhValue(proc.publicKey(), proc_value, proc_sig)) {
+        result.failureReason =
+            "processor DH value failed signature verification";
+        return result;
+    }
+    if (!verifyDhValue(mem.publicKey(), mem_value, mem_sig)) {
+        result.failureReason =
+            "memory DH value failed signature verification";
+        return result;
+    }
+
+    crypto::BigUint shared = proc_ep.computeShared(mem_value);
+    result.success = true;
+    result.channelKeys = deriveChannelKeys(shared, channels);
+    return result;
+}
+
+BootResult
+BootProtocol::runAttested(Component &proc, Component &mem,
+                          unsigned channels, Random &rng,
+                          MitmAttacker *attacker)
+{
+    BootResult result;
+
+    // Attestation: each side measures itself, presents the signed
+    // measurement, and the peer checks (1) the manufacturer's
+    // certificate, (2) ObfusMem capability, and (3) that the measured
+    // device key matches what the (possibly untrusted) integrator
+    // burned into its registers.
+    auto attest = [&result](const Component &target,
+                            const Component &verifier) {
+        const Measurement &m = target.measurement();
+        const Certificate &cert = target.certificate();
+        if (!cert.verify(target.manufacturerKey())) {
+            result.failureReason = target.name()
+                                   + ": certificate invalid";
+            return false;
+        }
+        if (cert.measurementDigest != m.digest()) {
+            result.failureReason = target.name()
+                                   + ": measurement mismatch";
+            return false;
+        }
+        if (!m.obfusMemCapable) {
+            result.failureReason = target.name()
+                                   + ": not ObfusMem-capable";
+            return false;
+        }
+        if (!verifier.peerKeys().contains(m.devicePublicKey)) {
+            result.failureReason =
+                verifier.name()
+                + ": burned key does not match attested key of "
+                + target.name();
+            return false;
+        }
+        return true;
+    };
+
+    if (!attest(proc, mem) || !attest(mem, proc))
+        return result;
+
+    // With identities verified, the signed DH proceeds as in the
+    // trusted-integrator approach.
+    return runTrusted(proc, mem, channels, rng, attacker);
+}
+
+bool
+BootProtocol::upgradeComponent(Component &survivor,
+                               const Component &replacement)
+{
+    return survivor.peerKeys().burn(replacement.publicKey());
+}
+
+} // namespace trust
+} // namespace obfusmem

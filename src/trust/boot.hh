@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Boot-time trust bootstrapping (paper Sec. 3.1): the three key
+ * distribution approaches followed by a Diffie-Hellman exchange per
+ * memory channel, yielding symmetric session keys for the ObfusMem
+ * controllers. Public-key operations run exactly once per boot;
+ * normal operation is symmetric crypto only.
+ *
+ * A man-in-the-middle hook lets tests demonstrate why the paper
+ * rejects the naive approach: an active attacker on the exposed bus
+ * can substitute DH values during a naive boot and remain undetected,
+ * whereas the signed exchanges of the integrator approaches reject
+ * the attack.
+ */
+
+#ifndef OBFUSMEM_TRUST_BOOT_HH
+#define OBFUSMEM_TRUST_BOOT_HH
+
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.hh"
+#include "crypto/dh.hh"
+#include "trust/identity.hh"
+
+namespace obfusmem {
+namespace trust {
+
+/** Which bootstrapping approach to run. */
+enum class BootApproach
+{
+    /** Public keys exchanged in the clear during BIOS. */
+    Naive,
+    /** Keys pre-burned by a trusted system integrator. */
+    TrustedIntegrator,
+    /** Burned keys cross-checked via SGX-like attestation. */
+    UntrustedIntegrator,
+};
+
+/** An active attacker sitting on the exposed bus during boot. */
+class MitmAttacker
+{
+  public:
+    explicit MitmAttacker(Random &rng)
+        : procFacing(crypto::DhGroup::testGroup256(), rng),
+          memFacing(crypto::DhGroup::testGroup256(), rng)
+    {}
+
+    /** DH endpoint impersonating the memory toward the processor. */
+    crypto::DhEndpoint procFacing;
+    /** DH endpoint impersonating the processor toward the memory. */
+    crypto::DhEndpoint memFacing;
+};
+
+/** Result of a boot attempt. */
+struct BootResult
+{
+    bool success = false;
+    std::string failureReason;
+    /** One session key per memory channel. */
+    std::vector<crypto::Aes128::Key> channelKeys;
+    /**
+     * True if an active attacker holds keys that let it decrypt the
+     * session (i.e. the MITM succeeded without detection).
+     */
+    bool attackerHoldsKeys = false;
+};
+
+/**
+ * Runs the boot protocol between a processor and a memory module.
+ */
+class BootProtocol
+{
+  public:
+    /**
+     * @param processor The processor component.
+     * @param memory The memory component.
+     * @param channels Number of memory channels (one DH session key
+     *        derived per channel).
+     * @param rng Entropy for the DH exchange.
+     * @param attacker Optional active MITM on the boot-time bus.
+     */
+    static BootResult run(BootApproach approach, Component &processor,
+                          Component &memory, unsigned channels,
+                          Random &rng,
+                          MitmAttacker *attacker = nullptr);
+
+    /**
+     * Model a component upgrade under the integrator approaches:
+     * burn the new component's key into the survivor's spare slots.
+     * @return false when the spare registers are exhausted.
+     */
+    static bool upgradeComponent(Component &survivor,
+                                 const Component &replacement);
+
+  private:
+    static BootResult runNaive(Component &proc, Component &mem,
+                               unsigned channels, Random &rng,
+                               MitmAttacker *attacker);
+    static BootResult runTrusted(Component &proc, Component &mem,
+                                 unsigned channels, Random &rng,
+                                 MitmAttacker *attacker);
+    static BootResult runAttested(Component &proc, Component &mem,
+                                  unsigned channels, Random &rng,
+                                  MitmAttacker *attacker);
+
+    /** Derive per-channel keys from the DH shared secret. */
+    static std::vector<crypto::Aes128::Key>
+    deriveChannelKeys(const crypto::BigUint &shared,
+                      unsigned channels);
+};
+
+} // namespace trust
+} // namespace obfusmem
+
+#endif // OBFUSMEM_TRUST_BOOT_HH

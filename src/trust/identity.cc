@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Identity/certification implementation.
+ */
+
+#include "trust/identity.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace obfusmem {
+namespace trust {
+
+std::vector<uint8_t>
+Measurement::serialize() const
+{
+    std::vector<uint8_t> out;
+    auto append_str = [&out](const std::string &s) {
+        out.push_back(static_cast<uint8_t>(s.size()));
+        out.insert(out.end(), s.begin(), s.end());
+    };
+    append_str(model);
+    append_str(firmwareVersion);
+    out.push_back(obfusMemCapable ? 1 : 0);
+    std::vector<uint8_t> n = devicePublicKey.modulus.toBytes();
+    out.insert(out.end(), n.begin(), n.end());
+    std::vector<uint8_t> e = devicePublicKey.exponent.toBytes();
+    out.insert(out.end(), e.begin(), e.end());
+    return out;
+}
+
+crypto::Sha1Digest
+Measurement::digest() const
+{
+    std::vector<uint8_t> bytes = serialize();
+    return crypto::Sha1::digest(bytes.data(), bytes.size());
+}
+
+bool
+Certificate::verify(const crypto::RsaPublicKey &ca_key) const
+{
+    // The manufacturer signed (device key || measurement digest).
+    std::vector<uint8_t> msg = devicePublicKey.modulus.toBytes();
+    msg.insert(msg.end(), measurementDigest.begin(),
+               measurementDigest.end());
+    return crypto::RsaKeyPair::verify(ca_key, msg.data(), msg.size(),
+                                      signature);
+}
+
+Manufacturer::Manufacturer(std::string name, size_t key_bits,
+                           Random &rng)
+    : manufacturerName(std::move(name)),
+      caKey(crypto::RsaKeyPair::generate(key_bits, rng))
+{
+}
+
+Certificate
+Manufacturer::certify(const Measurement &m) const
+{
+    Certificate cert;
+    cert.devicePublicKey = m.devicePublicKey;
+    cert.measurementDigest = m.digest();
+    std::vector<uint8_t> msg = m.devicePublicKey.modulus.toBytes();
+    msg.insert(msg.end(), cert.measurementDigest.begin(),
+               cert.measurementDigest.end());
+    cert.signature = caKey.sign(msg.data(), msg.size());
+    return cert;
+}
+
+bool
+KeyRegisterFile::burn(const crypto::RsaPublicKey &key)
+{
+    if (keys.size() >= capacity)
+        return false;
+    keys.push_back(key);
+    return true;
+}
+
+bool
+KeyRegisterFile::contains(const crypto::RsaPublicKey &key) const
+{
+    for (const auto &k : keys) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+Component::Component(std::string name, const Manufacturer &maker,
+                     size_t key_bits, bool obfusmem_capable,
+                     Random &rng)
+    : componentName(std::move(name)),
+      deviceKey(crypto::RsaKeyPair::generate(key_bits, rng)),
+      makerKey(maker.caPublicKey())
+{
+    selfMeasurement.model = componentName;
+    selfMeasurement.firmwareVersion = "1.0";
+    selfMeasurement.obfusMemCapable = obfusmem_capable;
+    selfMeasurement.devicePublicKey = deviceKey.publicKey();
+    cert = maker.certify(selfMeasurement);
+}
+
+crypto::BigUint
+Component::sign(const uint8_t *data, size_t len) const
+{
+    return deviceKey.sign(data, len);
+}
+
+} // namespace trust
+} // namespace obfusmem

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Component identities for the ObfusMem trust architecture (paper
+ * Sec. 3.1): manufacturers generate a key pair per chip, burn it in,
+ * and act as certification authorities for the keys they produce.
+ * A component's measurement covers its hardware/firmware
+ * characteristics (including ObfusMem capability) and its public key.
+ */
+
+#ifndef OBFUSMEM_TRUST_IDENTITY_HH
+#define OBFUSMEM_TRUST_IDENTITY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hh"
+#include "crypto/sha1.hh"
+
+namespace obfusmem {
+namespace trust {
+
+/** What a component reports about itself when measured. */
+struct Measurement
+{
+    std::string model;
+    std::string firmwareVersion;
+    bool obfusMemCapable = true;
+    crypto::RsaPublicKey devicePublicKey;
+
+    /** Canonical serialization for hashing/signing. */
+    std::vector<uint8_t> serialize() const;
+
+    crypto::Sha1Digest digest() const;
+};
+
+/** A manufacturer-signed binding of a device key to a measurement. */
+struct Certificate
+{
+    crypto::RsaPublicKey devicePublicKey;
+    crypto::Sha1Digest measurementDigest{};
+    crypto::BigUint signature;
+
+    /** Verify against the issuing manufacturer's CA key. */
+    bool verify(const crypto::RsaPublicKey &ca_key) const;
+};
+
+/**
+ * A chip manufacturer: generates device keys and certifies them.
+ * Processor and memory manufacturers need not know each other.
+ */
+class Manufacturer
+{
+  public:
+    Manufacturer(std::string name, size_t key_bits, Random &rng);
+
+    const std::string &name() const { return manufacturerName; }
+    const crypto::RsaPublicKey &caPublicKey() const
+    {
+        return caKey.publicKey();
+    }
+
+    /** Sign a measurement, binding device key to capabilities. */
+    Certificate certify(const Measurement &m) const;
+
+  private:
+    std::string manufacturerName;
+    crypto::RsaKeyPair caKey;
+};
+
+/**
+ * Write-once non-volatile key registers: the primary slot plus a
+ * limited number of spares for component upgrades (paper Sec. 3.1,
+ * trusted-integrator approach).
+ */
+class KeyRegisterFile
+{
+  public:
+    explicit KeyRegisterFile(unsigned spare_slots = 2)
+        : capacity(1 + spare_slots)
+    {}
+
+    /**
+     * Burn a peer public key.
+     * @return false if all slots are already used (burning is
+     *         irreversible).
+     */
+    bool burn(const crypto::RsaPublicKey &key);
+
+    /** True if a burned slot matches the key. */
+    bool contains(const crypto::RsaPublicKey &key) const;
+
+    unsigned slotsUsed() const
+    {
+        return static_cast<unsigned>(keys.size());
+    }
+
+    unsigned slotsFree() const
+    {
+        return capacity - static_cast<unsigned>(keys.size());
+    }
+
+  private:
+    unsigned capacity;
+    std::vector<crypto::RsaPublicKey> keys;
+};
+
+/**
+ * A trusted component (processor or memory module) with its burned-in
+ * identity, measurement, certificate, and peer-key registers.
+ */
+class Component
+{
+  public:
+    /**
+     * Manufacture a component: generate and burn its device key and
+     * obtain the manufacturer's certificate.
+     */
+    Component(std::string name, const Manufacturer &maker,
+              size_t key_bits, bool obfusmem_capable, Random &rng);
+
+    const std::string &name() const { return componentName; }
+    const crypto::RsaPublicKey &publicKey() const
+    {
+        return deviceKey.publicKey();
+    }
+    const Measurement &measurement() const { return selfMeasurement; }
+    const Certificate &certificate() const { return cert; }
+    const crypto::RsaPublicKey &manufacturerKey() const
+    {
+        return makerKey;
+    }
+
+    KeyRegisterFile &peerKeys() { return registers; }
+    const KeyRegisterFile &peerKeys() const { return registers; }
+
+    /** Sign data with the device key (attestation quotes, DH). */
+    crypto::BigUint sign(const uint8_t *data, size_t len) const;
+
+  private:
+    std::string componentName;
+    crypto::RsaKeyPair deviceKey;
+    Measurement selfMeasurement;
+    Certificate cert;
+    crypto::RsaPublicKey makerKey;
+    KeyRegisterFile registers;
+};
+
+} // namespace trust
+} // namespace obfusmem
+
+#endif // OBFUSMEM_TRUST_IDENTITY_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef OBFUSMEM_UTIL_BITOPS_HH
+#define OBFUSMEM_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace obfusmem {
+
+/** True if x is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); x must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** Ceil of log2(x); x must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t x)
+{
+    return x <= 1 ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Extract bits [first, first+count) of val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned first, unsigned count)
+{
+    if (count == 0)
+        return 0;
+    if (count >= 64)
+        return val >> first;
+    return (val >> first) & ((uint64_t{1} << count) - 1);
+}
+
+/** Round x up to the next multiple of align (align must be pow2). */
+constexpr uint64_t
+roundUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round x down to a multiple of align (align must be pow2). */
+constexpr uint64_t
+roundDown(uint64_t x, uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_UTIL_BITOPS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of the status/error reporting helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace obfusmem {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+void
+emit(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::ostream &out =
+        (level == LogLevel::Inform) ? std::cout : std::cerr;
+    out << levelName(level) << ": " << msg;
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        out << " @ " << file << ":" << line;
+    out << std::endl;
+}
+
+} // namespace
+
+void
+logTerminate(LogLevel level, const char *file, int line,
+             const std::string &msg)
+{
+    emit(level, file, line, msg);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &msg)
+{
+    emit(level, file, line, msg);
+}
+
+} // namespace obfusmem

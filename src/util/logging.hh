@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status/error reporting helpers, following the gem5 conventions:
+ * panic() for internal invariant violations (aborts), fatal() for
+ * user/configuration errors (clean exit), warn()/inform() for
+ * non-fatal diagnostics.
+ */
+
+#ifndef OBFUSMEM_UTIL_LOGGING_HH
+#define OBFUSMEM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace obfusmem {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a log message; Fatal exits the process with status 1, Panic
+ * calls std::abort(). Exposed so that macros below stay tiny.
+ *
+ * @param level Message severity.
+ * @param file Source file emitting the message.
+ * @param line Source line emitting the message.
+ * @param msg Pre-formatted message body.
+ */
+[[noreturn]] void logTerminate(LogLevel level, const char *file, int line,
+                               const std::string &msg);
+
+/** Non-terminating variant of logTerminate() for Inform/Warn. */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+namespace logging_detail {
+
+/** Build a message string from stream-style arguments. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace logging_detail
+
+} // namespace obfusmem
+
+/** Internal bug: condition that should never happen. Aborts. */
+#define panic(...)                                                         \
+    ::obfusmem::logTerminate(::obfusmem::LogLevel::Panic, __FILE__,        \
+        __LINE__, ::obfusmem::logging_detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error. Exits with status 1. */
+#define fatal(...)                                                         \
+    ::obfusmem::logTerminate(::obfusmem::LogLevel::Fatal, __FILE__,        \
+        __LINE__, ::obfusmem::logging_detail::concat(__VA_ARGS__))
+
+/** Something looks wrong but simulation can continue. */
+#define warn(...)                                                          \
+    ::obfusmem::logMessage(::obfusmem::LogLevel::Warn, __FILE__,           \
+        __LINE__, ::obfusmem::logging_detail::concat(__VA_ARGS__))
+
+/** Normal operating status message. */
+#define inform(...)                                                        \
+    ::obfusmem::logMessage(::obfusmem::LogLevel::Inform, __FILE__,         \
+        __LINE__, ::obfusmem::logging_detail::concat(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            panic(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            fatal(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+#endif // OBFUSMEM_UTIL_LOGGING_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * xoshiro256** implementation.
+ */
+
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Random::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Random::randUnder(uint64_t bound)
+{
+    panic_if(bound == 0, "randUnder(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Random::randRange(uint64_t lo, uint64_t hi)
+{
+    panic_if(lo > hi, "randRange with lo > hi");
+    if (lo == 0 && hi == UINT64_MAX)
+        return next();
+    return lo + randUnder(hi - lo + 1);
+}
+
+double
+Random::randDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return randDouble() < p;
+}
+
+uint64_t
+Random::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Inverse-CDF sampling of a geometric with the requested mean.
+    const double p = 1.0 / mean;
+    double u = randDouble();
+    if (u >= 1.0)
+        u = 0.9999999999;
+    double v = std::log1p(-u) / std::log1p(-p);
+    uint64_t k = static_cast<uint64_t>(v) + 1;
+    return k == 0 ? 1 : k;
+}
+
+void
+Random::fillBytes(uint8_t *buf, size_t len)
+{
+    size_t i = 0;
+    while (i + 8 <= len) {
+        uint64_t r = next();
+        for (int b = 0; b < 8; ++b)
+            buf[i++] = static_cast<uint8_t>(r >> (8 * b));
+    }
+    if (i < len) {
+        uint64_t r = next();
+        for (int b = 0; i < len; ++b)
+            buf[i++] = static_cast<uint8_t>(r >> (8 * b));
+    }
+}
+
+} // namespace obfusmem

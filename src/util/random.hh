@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * Uses xoshiro256** (public domain, Blackman & Vigna). All simulator
+ * randomness flows through Random instances so that runs are exactly
+ * reproducible given a seed.
+ */
+
+#ifndef OBFUSMEM_UTIL_RANDOM_HH
+#define OBFUSMEM_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace obfusmem {
+
+/**
+ * Deterministic PRNG (xoshiro256**) with convenience draws.
+ */
+class Random
+{
+  public:
+    /** Seed with SplitMix64 expansion of a 64-bit seed. */
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) without modulo bias. */
+    uint64_t randUnder(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t randRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double randDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Geometric-ish positive integer with the given mean (>= 1). */
+    uint64_t geometric(double mean);
+
+    /** Fill a byte buffer with random data. */
+    void fillBytes(uint8_t *buf, size_t len);
+
+  private:
+    std::array<uint64_t, 4> state;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_UTIL_RANDOM_HH

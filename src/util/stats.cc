@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+namespace statistics {
+
+Histogram::Histogram(double min, double max, size_t num_buckets)
+    : lo(min), hi(max), width((max - min) / num_buckets),
+      counts(num_buckets, 0)
+{
+    panic_if(max <= min || num_buckets == 0,
+             "invalid histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count == 0) {
+        minSeen = maxSeen = v;
+    } else {
+        minSeen = std::min(minSeen, v);
+        maxSeen = std::max(maxSeen, v);
+    }
+    ++count;
+    sum += v;
+
+    if (v < lo) {
+        ++under;
+    } else if (v >= hi) {
+        ++over;
+    } else {
+        size_t idx = static_cast<size_t>((v - lo) / width);
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        ++counts[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    under = over = count = 0;
+    sum = minSeen = maxSeen = 0;
+}
+
+Group::Group(std::string name, Group *parent)
+    : parent(parent)
+{
+    qualified = parent ? parent->qualified + "." + name : name;
+    if (parent)
+        parent->children.push_back(this);
+}
+
+void
+Group::addScalar(const std::string &name, const Scalar *s,
+                 const std::string &desc)
+{
+    scalars.push_back({name, s, desc});
+}
+
+void
+Group::addAverage(const std::string &name, const Average *a,
+                  const std::string &desc)
+{
+    averages.push_back({name, a, desc});
+}
+
+void
+Group::addHistogram(const std::string &name, const Histogram *h,
+                    const std::string &desc)
+{
+    histograms.push_back({name, h, desc});
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    auto line = [&](const std::string &name, double value,
+                    const std::string &desc) {
+        os << std::left << std::setw(48) << (qualified + "." + name)
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(2) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << "\n";
+    };
+
+    for (const auto &e : scalars)
+        line(e.name, e.stat->value(), e.desc);
+    for (const auto &e : averages)
+        line(e.name, e.stat->value(), e.desc);
+    for (const auto &e : histograms) {
+        line(e.name + ".mean", e.stat->mean(), e.desc);
+        line(e.name + ".samples",
+             static_cast<double>(e.stat->samples()), "");
+        line(e.name + ".min", e.stat->minSample(), "");
+        line(e.name + ".max", e.stat->maxSample(), "");
+    }
+    for (const auto *child : children)
+        child->dump(os);
+}
+
+double
+Group::scalarValue(const std::string &name) const
+{
+    size_t dot = name.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &e : scalars) {
+            if (e.name == name)
+                return e.stat->value();
+        }
+        panic("no scalar stat named ", name, " in group ", qualified);
+    }
+
+    std::string head = name.substr(0, dot);
+    std::string rest = name.substr(dot + 1);
+    for (const auto *child : children) {
+        const std::string &q = child->qualified;
+        size_t leaf = q.rfind('.');
+        std::string leaf_name =
+            leaf == std::string::npos ? q : q.substr(leaf + 1);
+        if (leaf_name == head)
+            return child->scalarValue(rest);
+    }
+    panic("no child group named ", head, " in group ", qualified);
+}
+
+} // namespace statistics
+} // namespace obfusmem

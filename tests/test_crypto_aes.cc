@@ -1,0 +1,173 @@
+/**
+ * @file
+ * AES-128 and AES-CTR tests, including the FIPS-197 known-answer
+ * vectors and counter-mode properties ObfusMem depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aes128.hh"
+#include "crypto/bytes.hh"
+#include "crypto/ctr_mode.hh"
+#include "util/random.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::crypto;
+
+namespace {
+
+Block128
+block(const std::string &hex)
+{
+    auto v = fromHex(hex);
+    Block128 b{};
+    std::copy(v.begin(), v.end(), b.begin());
+    return b;
+}
+
+} // namespace
+
+TEST(Aes128, Fips197AppendixB)
+{
+    // FIPS-197 Appendix B example.
+    Aes128 aes(block("2b7e151628aed2a6abf7158809cf4f3c"));
+    Block128 ct = aes.encryptBlock(
+        block("3243f6a8885a308d313198a2e0370734"));
+    EXPECT_EQ(toHex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, Fips197AppendixC1)
+{
+    // FIPS-197 Appendix C.1 (AES-128).
+    Aes128 aes(block("000102030405060708090a0b0c0d0e0f"));
+    Block128 ct = aes.encryptBlock(
+        block("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(toHex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    Random rng(1);
+    Aes128::Key key;
+    rng.fillBytes(key.data(), key.size());
+    Aes128 aes(key);
+    for (int i = 0; i < 50; ++i) {
+        Block128 pt;
+        rng.fillBytes(pt.data(), pt.size());
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(pt)), pt);
+    }
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertexts)
+{
+    Block128 pt = block("00000000000000000000000000000000");
+    Aes128 a(block("00000000000000000000000000000001"));
+    Aes128 b(block("00000000000000000000000000000002"));
+    EXPECT_NE(a.encryptBlock(pt), b.encryptBlock(pt));
+}
+
+TEST(Aes128, SingleBitKeyChangeAvalanche)
+{
+    Block128 pt = block("00112233445566778899aabbccddeeff");
+    Aes128 a(block("000102030405060708090a0b0c0d0e0f"));
+    Aes128 b(block("010102030405060708090a0b0c0d0e0f"));
+    Block128 ca = a.encryptBlock(pt);
+    Block128 cb = b.encryptBlock(pt);
+    int diff_bits = 0;
+    for (size_t i = 0; i < ca.size(); ++i)
+        diff_bits = diff_bits + __builtin_popcount(ca[i] ^ cb[i]);
+    // Avalanche: roughly half of the 128 bits flip.
+    EXPECT_GT(diff_bits, 40);
+    EXPECT_LT(diff_bits, 90);
+}
+
+TEST(Aes128, RekeyingWorks)
+{
+    Block128 pt = block("00112233445566778899aabbccddeeff");
+    Aes128 aes(block("000102030405060708090a0b0c0d0e0f"));
+    Block128 first = aes.encryptBlock(pt);
+    aes.setKey(block("ffeeddccbbaa99887766554433221100"));
+    Block128 second = aes.encryptBlock(pt);
+    EXPECT_NE(first, second);
+    aes.setKey(block("000102030405060708090a0b0c0d0e0f"));
+    EXPECT_EQ(aes.encryptBlock(pt), first);
+}
+
+TEST(AesCtr, PadMatchesManualConstruction)
+{
+    Aes128::Key key = block("2b7e151628aed2a6abf7158809cf4f3c");
+    uint64_t nonce = 0x1122334455667788ULL;
+    AesCtr ctr(key, nonce);
+
+    Block128 iv{};
+    storeLe64(iv.data(), nonce);
+    storeLe64(iv.data() + 8, 42);
+    Aes128 aes(key);
+    EXPECT_EQ(ctr.pad(42), aes.encryptBlock(iv));
+}
+
+TEST(AesCtr, PadsAreUniquePerCounter)
+{
+    AesCtr ctr(block("000102030405060708090a0b0c0d0e0f"), 7);
+    std::set<std::string> pads;
+    for (uint64_t i = 0; i < 500; ++i)
+        pads.insert(toHex(ctr.pad(i)));
+    EXPECT_EQ(pads.size(), 500u);
+}
+
+TEST(AesCtr, DifferentNoncesDifferentStreams)
+{
+    Aes128::Key key = block("000102030405060708090a0b0c0d0e0f");
+    AesCtr a(key, 0), b(key, 1);
+    EXPECT_NE(a.pad(0), b.pad(0));
+}
+
+TEST(AesCtr, KeystreamRoundTrip)
+{
+    AesCtr ctr(block("2b7e151628aed2a6abf7158809cf4f3c"), 99);
+    Random rng(5);
+    uint8_t buf[200], orig[200];
+    rng.fillBytes(buf, sizeof(buf));
+    memcpy(orig, buf, sizeof(buf));
+
+    uint64_t used = ctr.applyKeystream(buf, sizeof(buf), 1000);
+    EXPECT_EQ(used, (sizeof(buf) + 15) / 16);
+    EXPECT_NE(memcmp(buf, orig, sizeof(buf)), 0);
+
+    ctr.applyKeystream(buf, sizeof(buf), 1000);
+    EXPECT_EQ(memcmp(buf, orig, sizeof(buf)), 0);
+}
+
+TEST(AesCtr, KeystreamPartialBlock)
+{
+    AesCtr ctr(block("2b7e151628aed2a6abf7158809cf4f3c"), 3);
+    uint8_t buf[5] = {1, 2, 3, 4, 5};
+    uint64_t used = ctr.applyKeystream(buf, sizeof(buf), 0);
+    EXPECT_EQ(used, 1u);
+}
+
+TEST(MemoryEncryptionIv, DistinctFieldsDistinctIvs)
+{
+    MemoryEncryptionIv a{1, 0, 0, 0};
+    MemoryEncryptionIv b{2, 0, 0, 0};
+    MemoryEncryptionIv c{1, 1, 0, 0};
+    MemoryEncryptionIv d{1, 0, 1, 0};
+    MemoryEncryptionIv e{1, 0, 0, 1};
+    std::set<std::string> ivs{toHex(a.pack()), toHex(b.pack()),
+                              toHex(c.pack()), toHex(d.pack()),
+                              toHex(e.pack())};
+    EXPECT_EQ(ivs.size(), 5u);
+}
+
+TEST(AesEngineParams, MatchesPaperSynthesis)
+{
+    // Paper Sec. 4: 24-cycle latency at 4 ns, one pad per cycle,
+    // 15.1 mW, 0.204 mm^2.
+    EXPECT_EQ(AesEngineParams::pipelineDepth, 24u);
+    EXPECT_EQ(AesEngineParams::cycleTimePs, 4000u);
+    EXPECT_EQ(AesEngineParams::padsPerCycle, 1u);
+    EXPECT_NEAR(AesEngineParams::powerMw, 15.1, 1e-9);
+    EXPECT_NEAR(AesEngineParams::areaMm2, 0.204, 1e-9);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * BigUint tests: arithmetic identities against 64-bit references,
+ * division invariants, modular arithmetic, and primality testing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hh"
+#include "util/random.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::crypto;
+
+TEST(BigUint, SmallValueRoundTrip)
+{
+    EXPECT_EQ(BigUint(0).toU64(), 0u);
+    EXPECT_EQ(BigUint(1).toU64(), 1u);
+    EXPECT_EQ(BigUint(0xdeadbeefcafebabeULL).toU64(),
+              0xdeadbeefcafebabeULL);
+    EXPECT_TRUE(BigUint(0).isZero());
+    EXPECT_FALSE(BigUint(1).isZero());
+}
+
+TEST(BigUint, HexRoundTrip)
+{
+    const std::string hex =
+        "123456789abcdef0fedcba9876543210deadbeef";
+    EXPECT_EQ(BigUint::fromHex(hex).toHex(), hex);
+    EXPECT_EQ(BigUint::fromHex("0").toHex(), "0");
+    EXPECT_EQ(BigUint::fromHex("00ff").toHex(), "ff");
+}
+
+TEST(BigUint, BytesRoundTrip)
+{
+    uint8_t data[] = {0x12, 0x34, 0x56, 0x78, 0x9a};
+    BigUint v = BigUint::fromBytes(data, sizeof(data));
+    EXPECT_EQ(v.toHex(), "123456789a");
+    auto bytes = v.toBytes();
+    ASSERT_EQ(bytes.size(), sizeof(data));
+    EXPECT_EQ(memcmp(bytes.data(), data, sizeof(data)), 0);
+
+    auto padded = v.toBytes(8);
+    EXPECT_EQ(padded.size(), 8u);
+    EXPECT_EQ(padded[0], 0);
+    EXPECT_EQ(padded[3], 0x12);
+}
+
+TEST(BigUint, BitLength)
+{
+    EXPECT_EQ(BigUint(0).bitLength(), 0u);
+    EXPECT_EQ(BigUint(1).bitLength(), 1u);
+    EXPECT_EQ(BigUint(255).bitLength(), 8u);
+    EXPECT_EQ(BigUint(256).bitLength(), 9u);
+    EXPECT_EQ((BigUint(1) << 100).bitLength(), 101u);
+}
+
+TEST(BigUint, ComparisonOperators)
+{
+    BigUint a(5), b(7);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a >= a);
+    EXPECT_TRUE(a == a);
+    EXPECT_TRUE(a != b);
+    EXPECT_TRUE(BigUint(1) << 64 > BigUint(UINT64_MAX));
+}
+
+TEST(BigUint, AddSubAgainstU64)
+{
+    Random rng(1);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t a = rng.next() >> 1;
+        uint64_t b = rng.next() >> 1;
+        EXPECT_EQ((BigUint(a) + BigUint(b)).toU64(), a + b);
+        uint64_t hi = std::max(a, b), lo = std::min(a, b);
+        EXPECT_EQ((BigUint(hi) - BigUint(lo)).toU64(), hi - lo);
+    }
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs)
+{
+    BigUint max32(0xffffffffULL);
+    EXPECT_EQ((max32 + BigUint(1)).toHex(), "100000000");
+    BigUint big = BigUint::fromHex("ffffffffffffffffffffffff");
+    EXPECT_EQ((big + BigUint(1)).toHex(), "1000000000000000000000000");
+}
+
+TEST(BigUint, MulAgainstU64)
+{
+    Random rng(2);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t a = rng.next() >> 33;
+        uint64_t b = rng.next() >> 33;
+        EXPECT_EQ((BigUint(a) * BigUint(b)).toU64(), a * b);
+    }
+}
+
+TEST(BigUint, MulDistributesOverAdd)
+{
+    Random rng(3);
+    for (int i = 0; i < 50; ++i) {
+        BigUint a = BigUint::randomBits(100, rng);
+        BigUint b = BigUint::randomBits(90, rng);
+        BigUint c = BigUint::randomBits(80, rng);
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+    }
+}
+
+TEST(BigUint, ShiftsInvertEachOther)
+{
+    Random rng(4);
+    for (size_t shift : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+        BigUint v = BigUint::randomBits(120, rng);
+        EXPECT_EQ((v << shift) >> shift, v) << shift;
+    }
+}
+
+TEST(BigUint, ShiftIsMultiplication)
+{
+    BigUint v(3);
+    EXPECT_EQ(v << 5, BigUint(96));
+    EXPECT_EQ(BigUint(96) >> 5, BigUint(3));
+    EXPECT_EQ(BigUint(97) >> 5, BigUint(3)); // floor
+}
+
+class BigUintDivMod : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BigUintDivMod, QuotientRemainderInvariant)
+{
+    Random rng(100 + GetParam());
+    size_t num_bits = 32 + (GetParam() * 37) % 480;
+    size_t den_bits = 1 + (GetParam() * 17) % num_bits;
+    for (int i = 0; i < 40; ++i) {
+        BigUint n = BigUint::randomBits(num_bits, rng);
+        BigUint d = BigUint::randomBits(den_bits, rng);
+        auto [q, r] = n.divmod(d);
+        EXPECT_EQ(q * d + r, n);
+        EXPECT_TRUE(r < d);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BigUintDivMod,
+                         ::testing::Range(0, 12));
+
+TEST(BigUint, DivModEdgeCases)
+{
+    auto [q1, r1] = BigUint(5).divmod(BigUint(7));
+    EXPECT_TRUE(q1.isZero());
+    EXPECT_EQ(r1, BigUint(5));
+
+    auto [q2, r2] = BigUint(42).divmod(BigUint(42));
+    EXPECT_EQ(q2, BigUint(1));
+    EXPECT_TRUE(r2.isZero());
+
+    // Knuth add-back corner: divisor just above half the base.
+    BigUint n = BigUint::fromHex("80000000000000000000000000000000");
+    BigUint d = BigUint::fromHex("800000000000000000000001");
+    auto [q3, r3] = n.divmod(d);
+    EXPECT_EQ(q3 * d + r3, n);
+    EXPECT_TRUE(r3 < d);
+}
+
+TEST(BigUint, PowModAgainstNaive)
+{
+    Random rng(5);
+    for (int i = 0; i < 30; ++i) {
+        uint64_t base = rng.randUnder(1000) + 2;
+        uint64_t exp = rng.randUnder(20);
+        uint64_t mod = rng.randUnder(100000) + 2;
+        uint64_t expected = 1;
+        for (uint64_t k = 0; k < exp; ++k)
+            expected = (expected * base) % mod;
+        EXPECT_EQ(BigUint(base).powMod(BigUint(exp),
+                                       BigUint(mod)).toU64(),
+                  expected);
+    }
+}
+
+TEST(BigUint, PowModFermat)
+{
+    // Fermat's little theorem: a^(p-1) = 1 mod p for prime p.
+    BigUint p = BigUint::fromHex(
+        "7fffffffffffffffffffffffffffffff"
+        "ffffffffffffffffffffffffffffffed"); // 2^255 - 19
+    Random rng(6);
+    for (int i = 0; i < 5; ++i) {
+        BigUint a = BigUint::randomBits(128, rng);
+        EXPECT_EQ(a.powMod(p - BigUint(1), p), BigUint(1));
+    }
+}
+
+TEST(BigUint, Gcd)
+{
+    EXPECT_EQ(BigUint::gcd(BigUint(12), BigUint(18)), BigUint(6));
+    EXPECT_EQ(BigUint::gcd(BigUint(17), BigUint(13)), BigUint(1));
+    EXPECT_EQ(BigUint::gcd(BigUint(0), BigUint(5)), BigUint(5));
+    EXPECT_EQ(BigUint::gcd(BigUint(5), BigUint(0)), BigUint(5));
+}
+
+TEST(BigUint, ModInverse)
+{
+    Random rng(7);
+    BigUint m(1000003); // prime modulus
+    for (int i = 0; i < 30; ++i) {
+        BigUint a(rng.randUnder(1000002) + 1);
+        BigUint inv = BigUint::modInverse(a, m);
+        EXPECT_EQ(a.mulMod(inv, m), BigUint(1));
+    }
+}
+
+TEST(BigUint, MillerRabinKnownPrimes)
+{
+    Random rng(8);
+    for (uint64_t p : {2ull, 3ull, 5ull, 101ull, 7919ull,
+                       2147483647ull /* 2^31-1 */}) {
+        EXPECT_TRUE(BigUint::isProbablePrime(BigUint(p), rng)) << p;
+    }
+    // 2^255 - 19 is prime (the testGroup256 modulus relies on this).
+    EXPECT_TRUE(BigUint::isProbablePrime(
+        BigUint::fromHex("7fffffffffffffffffffffffffffffff"
+                         "ffffffffffffffffffffffffffffffed"),
+        rng));
+}
+
+TEST(BigUint, MillerRabinKnownComposites)
+{
+    Random rng(9);
+    for (uint64_t c : {1ull, 4ull, 100ull, 561ull /* Carmichael */,
+                       41041ull /* Carmichael */, 7917ull}) {
+        EXPECT_FALSE(BigUint::isProbablePrime(BigUint(c), rng)) << c;
+    }
+}
+
+TEST(BigUint, GeneratePrimeHasRequestedSize)
+{
+    Random rng(10);
+    for (size_t bits : {16u, 32u, 64u, 128u}) {
+        BigUint p = BigUint::generatePrime(bits, rng);
+        EXPECT_EQ(p.bitLength(), bits);
+        EXPECT_TRUE(BigUint::isProbablePrime(p, rng));
+    }
+}
+
+TEST(BigUint, RandomBelowIsBelow)
+{
+    Random rng(11);
+    BigUint bound = BigUint::fromHex("123456789abcdef0");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(BigUint::randomBelow(bound, rng) < bound);
+}
+
+TEST(BigUint, RandomBitsTopBitSet)
+{
+    Random rng(12);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(BigUint::randomBits(77, rng).bitLength(), 77u);
+}

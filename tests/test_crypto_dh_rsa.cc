@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Diffie-Hellman and RSA tests: the public-key machinery backing the
+ * ObfusMem trust architecture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/dh.hh"
+#include "crypto/rsa.hh"
+#include "util/random.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::crypto;
+
+TEST(Dh, SharedSecretsAgreeTestGroup)
+{
+    Random rng(1);
+    const DhGroup &group = DhGroup::testGroup256();
+    DhEndpoint alice(group, rng);
+    DhEndpoint bob(group, rng);
+    BigUint sa = alice.computeShared(bob.publicValue());
+    BigUint sb = bob.computeShared(alice.publicValue());
+    EXPECT_EQ(sa, sb);
+    EXPECT_FALSE(sa.isZero());
+}
+
+TEST(Dh, SharedSecretsAgreeModp2048)
+{
+    Random rng(2);
+    const DhGroup &group = DhGroup::modp2048();
+    EXPECT_EQ(group.prime.bitLength(), 2048u);
+    DhEndpoint alice(group, rng);
+    DhEndpoint bob(group, rng);
+    EXPECT_EQ(alice.computeShared(bob.publicValue()),
+              bob.computeShared(alice.publicValue()));
+}
+
+TEST(Dh, DistinctSessionsDistinctSecrets)
+{
+    Random rng(3);
+    const DhGroup &group = DhGroup::testGroup256();
+    DhEndpoint a1(group, rng), b1(group, rng);
+    DhEndpoint a2(group, rng), b2(group, rng);
+    EXPECT_NE(a1.computeShared(b1.publicValue()),
+              a2.computeShared(b2.publicValue()));
+}
+
+TEST(Dh, SessionKeyDerivationDeterministic)
+{
+    Random rng(4);
+    const DhGroup &group = DhGroup::testGroup256();
+    DhEndpoint a(group, rng), b(group, rng);
+    BigUint s = a.computeShared(b.publicValue());
+    EXPECT_EQ(DhEndpoint::deriveSessionKey(s),
+              DhEndpoint::deriveSessionKey(s));
+    BigUint s2 = s + BigUint(1);
+    EXPECT_NE(DhEndpoint::deriveSessionKey(s),
+              DhEndpoint::deriveSessionKey(s2));
+}
+
+TEST(Dh, PublicValueInRange)
+{
+    Random rng(5);
+    const DhGroup &group = DhGroup::testGroup256();
+    for (int i = 0; i < 10; ++i) {
+        DhEndpoint e(group, rng);
+        EXPECT_TRUE(e.publicValue() < group.prime);
+        EXPECT_TRUE(e.publicValue() > BigUint(1));
+    }
+}
+
+TEST(DhDeathTest, RejectsDegeneratePeerValues)
+{
+    Random rng(6);
+    const DhGroup &group = DhGroup::testGroup256();
+    DhEndpoint e(group, rng);
+    EXPECT_EXIT(e.computeShared(BigUint(0)),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(e.computeShared(BigUint(1)),
+                ::testing::ExitedWithCode(1), "degenerate");
+    EXPECT_EXIT(e.computeShared(group.prime),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Rsa, SignVerifyRoundTrip)
+{
+    Random rng(7);
+    RsaKeyPair kp = RsaKeyPair::generate(256, rng);
+    std::string msg = "attestation quote";
+    BigUint sig = kp.sign(
+        reinterpret_cast<const uint8_t *>(msg.data()), msg.size());
+    EXPECT_TRUE(RsaKeyPair::verify(
+        kp.publicKey(), reinterpret_cast<const uint8_t *>(msg.data()),
+        msg.size(), sig));
+}
+
+TEST(Rsa, TamperedMessageFailsVerification)
+{
+    Random rng(8);
+    RsaKeyPair kp = RsaKeyPair::generate(256, rng);
+    std::string msg = "attestation quote";
+    BigUint sig = kp.sign(
+        reinterpret_cast<const uint8_t *>(msg.data()), msg.size());
+    std::string tampered = "attestation quote!";
+    EXPECT_FALSE(RsaKeyPair::verify(
+        kp.publicKey(),
+        reinterpret_cast<const uint8_t *>(tampered.data()),
+        tampered.size(), sig));
+}
+
+TEST(Rsa, WrongKeyFailsVerification)
+{
+    Random rng(9);
+    RsaKeyPair kp1 = RsaKeyPair::generate(256, rng);
+    RsaKeyPair kp2 = RsaKeyPair::generate(256, rng);
+    std::string msg = "hello";
+    BigUint sig = kp1.sign(
+        reinterpret_cast<const uint8_t *>(msg.data()), msg.size());
+    EXPECT_FALSE(RsaKeyPair::verify(
+        kp2.publicKey(), reinterpret_cast<const uint8_t *>(msg.data()),
+        msg.size(), sig));
+}
+
+TEST(Rsa, ForgedSignatureFailsVerification)
+{
+    Random rng(10);
+    RsaKeyPair kp = RsaKeyPair::generate(256, rng);
+    std::string msg = "hello";
+    BigUint forged = BigUint::randomBits(200, rng);
+    EXPECT_FALSE(RsaKeyPair::verify(
+        kp.publicKey(), reinterpret_cast<const uint8_t *>(msg.data()),
+        msg.size(), forged));
+}
+
+TEST(Rsa, DistinctKeyPairs)
+{
+    Random rng(11);
+    RsaKeyPair a = RsaKeyPair::generate(128, rng);
+    RsaKeyPair b = RsaKeyPair::generate(128, rng);
+    EXPECT_FALSE(a.publicKey() == b.publicKey());
+}

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * PCM controller tests: row-buffer timing, cell-write-on-eviction,
+ * read priority, forwarding, and energy/wear accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/address_map.hh"
+#include "mem/backing_store.hh"
+#include "mem/pcm_controller.hh"
+
+using namespace obfusmem;
+
+namespace {
+
+constexpr uint64_t GB = 1ull << 30;
+
+class PcmFixture : public ::testing::Test
+{
+  protected:
+    PcmFixture()
+        : stats("test", nullptr), map(8 * GB, 1), store(8 * GB),
+          pcm("pcm", eq, &stats, 0, map, PcmParams{}, store)
+    {}
+
+    /** Issue a read and return its completion tick. */
+    Tick
+    readAt(uint64_t addr)
+    {
+        Tick done = 0;
+        MemPacket pkt;
+        pkt.cmd = MemCmd::Read;
+        pkt.addr = addr;
+        pkt.issueTick = eq.curTick();
+        pcm.access(std::move(pkt),
+                   [&done, this](MemPacket &&) { done = eq.curTick(); });
+        eq.run();
+        return done;
+    }
+
+    void
+    writeAt(uint64_t addr, const DataBlock &data)
+    {
+        MemPacket pkt;
+        pkt.cmd = MemCmd::Write;
+        pkt.addr = addr;
+        pkt.data = data;
+        pkt.issueTick = eq.curTick();
+        pcm.access(std::move(pkt), [](MemPacket &&) {});
+        eq.run();
+    }
+
+    EventQueue eq;
+    statistics::Group stats;
+    AddressMap map;
+    BackingStore store;
+    PcmController pcm;
+    PcmParams params;
+};
+
+} // namespace
+
+TEST_F(PcmFixture, ColdReadPaysActivation)
+{
+    Tick start = eq.curTick();
+    Tick done = readAt(0);
+    // tRCD (60) + tCL (13.75) + tBURST (5) = 78.75 ns.
+    EXPECT_EQ(done - start, params.tRCD + params.tCL + params.tBURST);
+}
+
+TEST_F(PcmFixture, RowHitSkipsActivation)
+{
+    readAt(0);
+    Tick start = eq.curTick();
+    Tick done = readAt(64); // same 1 KB row
+    EXPECT_EQ(done - start, params.tCL + params.tBURST);
+}
+
+TEST_F(PcmFixture, RowConflictCleanJustActivates)
+{
+    readAt(0);
+    // A different row in the same bank (same channel/rank/bank but
+    // row +1): with RoRaBaChCo, rows are the top bits.
+    DecodedAddr loc = map.decode(0);
+    loc.row += 1;
+    Tick start = eq.curTick();
+    Tick done = readAt(map.encode(loc));
+    EXPECT_EQ(done - start, params.tRCD + params.tCL + params.tBURST);
+}
+
+TEST_F(PcmFixture, DirtyRowEvictionWritesCells)
+{
+    DataBlock data{};
+    data[0] = 1;
+    writeAt(0, data);
+    EXPECT_EQ(pcm.cellBlockWrites(), 0u); // still in the row buffer
+
+    // Conflict the row: the dirty row buffer must be written back.
+    DecodedAddr loc = map.decode(0);
+    loc.row += 1;
+    Tick start = eq.curTick();
+    Tick done = readAt(map.encode(loc));
+    EXPECT_EQ(pcm.cellBlockWrites(), 1u);
+    // tWR (150) + tRCD + tCL + tBURST.
+    EXPECT_EQ(done - start,
+              params.tWR + params.tRCD + params.tCL + params.tBURST);
+}
+
+TEST_F(PcmFixture, MultipleDirtyBlocksCountedOnEviction)
+{
+    DataBlock data{};
+    for (int i = 0; i < 5; ++i)
+        writeAt(i * 64, data); // five blocks of the same row
+    DecodedAddr loc = map.decode(0);
+    loc.row += 1;
+    readAt(map.encode(loc));
+    EXPECT_EQ(pcm.cellBlockWrites(), 5u);
+}
+
+TEST_F(PcmFixture, FunctionalReadAfterWrite)
+{
+    DataBlock data;
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i ^ 0x5a);
+    writeAt(0x12340, data);
+
+    DataBlock out{};
+    MemPacket pkt;
+    pkt.cmd = MemCmd::Read;
+    pkt.addr = 0x12340;
+    pcm.access(std::move(pkt),
+               [&out](MemPacket &&resp) { out = resp.data; });
+    eq.run();
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(PcmFixture, ReadUnderWriteForwardsYoungest)
+{
+    // Enqueue two writes to the same block, then a read, without
+    // draining in between.
+    DataBlock first{}, second{};
+    first[0] = 1;
+    second[0] = 2;
+    MemPacket w1;
+    w1.cmd = MemCmd::Write;
+    w1.addr = 0x40;
+    w1.data = first;
+    pcm.access(std::move(w1), [](MemPacket &&) {});
+    MemPacket w2;
+    w2.cmd = MemCmd::Write;
+    w2.addr = 0x40;
+    w2.data = second;
+    pcm.access(std::move(w2), [](MemPacket &&) {});
+
+    DataBlock out{};
+    MemPacket rd;
+    rd.cmd = MemCmd::Read;
+    rd.addr = 0x40;
+    pcm.access(std::move(rd),
+               [&out](MemPacket &&resp) { out = resp.data; });
+    eq.run();
+    EXPECT_EQ(out[0], 2);
+}
+
+TEST_F(PcmFixture, BanksOverlapServiceTime)
+{
+    // Two cold reads to different banks should overlap; to the same
+    // bank they serialize.
+    DecodedAddr bank0 = map.decode(0);
+    DecodedAddr bank1 = bank0;
+    bank1.bank = 1;
+    DecodedAddr row1 = bank0;
+    row1.row += 1;
+
+    Tick done_a = 0, done_b = 0;
+    MemPacket a;
+    a.cmd = MemCmd::Read;
+    a.addr = map.encode(bank0);
+    pcm.access(std::move(a),
+               [&](MemPacket &&) { done_a = eq.curTick(); });
+    MemPacket b;
+    b.cmd = MemCmd::Read;
+    b.addr = map.encode(bank1);
+    pcm.access(std::move(b),
+               [&](MemPacket &&) { done_b = eq.curTick(); });
+    eq.run();
+    // Parallel banks: both finish at the cold-read latency.
+    EXPECT_EQ(done_a, done_b);
+
+    Tick start = eq.curTick();
+    Tick done_c = 0, done_d = 0;
+    MemPacket c;
+    c.cmd = MemCmd::Read;
+    c.addr = map.encode(bank0); // row hit now
+    pcm.access(std::move(c),
+               [&](MemPacket &&) { done_c = eq.curTick(); });
+    MemPacket d;
+    d.cmd = MemCmd::Read;
+    d.addr = map.encode(row1); // same bank, other row
+    pcm.access(std::move(d),
+               [&](MemPacket &&) { done_d = eq.curTick(); });
+    eq.run();
+    // Same bank: the second access waits for the first.
+    EXPECT_GT(done_d - start,
+              params.tRCD + params.tCL + params.tBURST);
+    (void)done_c;
+}
+
+TEST_F(PcmFixture, EnergyAccounting)
+{
+    EXPECT_EQ(pcm.energyPj(), 0.0);
+    readAt(0); // one activation
+    EXPECT_DOUBLE_EQ(pcm.energyPj(), params.readEnergyPj);
+
+    DataBlock data{};
+    writeAt(64, data); // row hit write, no cell energy yet
+    DecodedAddr loc = map.decode(0);
+    loc.row += 1;
+    readAt(map.encode(loc)); // evict dirty + activate
+    EXPECT_DOUBLE_EQ(pcm.energyPj(),
+                     2 * params.readEnergyPj + params.writeEnergyPj);
+}
+
+TEST_F(PcmFixture, WearTrackingFindsHotRow)
+{
+    DataBlock data{};
+    DecodedAddr loc = map.decode(0);
+    DecodedAddr other = loc;
+    other.row += 1;
+    // Bounce between two rows, dirtying row 0 each time.
+    for (int i = 0; i < 4; ++i) {
+        writeAt(map.encode(loc), data);
+        readAt(map.encode(other));
+    }
+    EXPECT_EQ(pcm.maxRowCellWrites(), 4u);
+}
+
+TEST_F(PcmFixture, WriteEnergyRatioIs6point8)
+{
+    EXPECT_NEAR(params.writeEnergyPj / params.readEnergyPj, 6.8, 1e-9);
+}
+
+TEST(StartGapLeveler, IdentityBeforeAnyMoves)
+{
+    StartGapLeveler lvl(100, 10);
+    for (uint64_t r = 0; r < 100; ++r)
+        EXPECT_EQ(lvl.map(r), r);
+    EXPECT_EQ(lvl.gapPosition(), 100u);
+}
+
+TEST(StartGapLeveler, MovesEveryPeriod)
+{
+    StartGapLeveler lvl(100, 10);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(lvl.recordWrite());
+    EXPECT_TRUE(lvl.recordWrite());
+    EXPECT_EQ(lvl.gapMoves(), 1u);
+    EXPECT_EQ(lvl.gapPosition(), 99u);
+}
+
+TEST(StartGapLeveler, MappingStaysBijective)
+{
+    StartGapLeveler lvl(64, 1); // move on every write
+    for (int round = 0; round < 200; ++round) {
+        std::set<uint64_t> physical;
+        for (uint64_t r = 0; r < 64; ++r) {
+            uint64_t p = lvl.map(r);
+            EXPECT_LT(p, lvl.physicalRows());
+            EXPECT_NE(p, lvl.gapPosition());
+            physical.insert(p);
+        }
+        EXPECT_EQ(physical.size(), 64u); // injective
+        lvl.recordWrite();
+    }
+}
+
+TEST(StartGapLeveler, FullRotationAdvancesStart)
+{
+    StartGapLeveler lvl(8, 1);
+    // 9 moves walk the gap 8->0 and then wrap, bumping start.
+    for (int i = 0; i < 9; ++i)
+        lvl.recordWrite();
+    EXPECT_EQ(lvl.startOffset(), 1u);
+    EXPECT_EQ(lvl.gapPosition(), 8u);
+}
+
+TEST(StartGapLeveler, HotRowWearSpreadsOverTime)
+{
+    // Hammer one logical row; with the gap walking, the physical row
+    // it lands on keeps changing.
+    StartGapLeveler lvl(32, 4);
+    std::map<uint64_t, int> wear;
+    const int writes = 10 * 33 * 4; // ten full gap rotations
+    for (int w = 0; w < writes; ++w) {
+        ++wear[lvl.map(7)];
+        lvl.recordWrite();
+    }
+    int hottest = 0;
+    for (auto &[row, count] : wear)
+        hottest = std::max(hottest, count);
+    // Without leveling all writes would hit one row; each full
+    // rotation shifts the hot row to a fresh physical location.
+    EXPECT_GE(wear.size(), 9u);
+    EXPECT_LT(hottest, writes / 4);
+}
+
+TEST_F(PcmFixture, WearLevelingSpreadsHotRow)
+{
+    PcmParams leveled = params;
+    leveled.wearLeveling = true;
+    leveled.gapMovePeriod = 4;
+    PcmController pcm2("pcm2", eq, &stats, 0, map, leveled, store);
+
+    DecodedAddr loc = map.decode(0);
+    DecodedAddr other = loc;
+    other.row += 1;
+    DataBlock data{};
+    auto hammer = [&](PcmController &target) {
+        for (int i = 0; i < 64; ++i) {
+            MemPacket w;
+            w.cmd = MemCmd::Write;
+            w.addr = map.encode(loc);
+            w.data = data;
+            target.access(std::move(w), [](MemPacket &&) {});
+            MemPacket r;
+            r.cmd = MemCmd::Read;
+            r.addr = map.encode(other);
+            target.access(std::move(r), [](MemPacket &&) {});
+            eq.run();
+        }
+    };
+    hammer(pcm);  // no leveling
+    hammer(pcm2); // leveling
+    // With 32k rows per bank the rotation is deliberately slow (that
+    // is the point of Start-Gap's low overhead); within a short test
+    // we can only see that the gap machinery engages. Long-run
+    // spreading is covered by StartGapLeveler.HotRowWearSpreadsOverTime.
+    EXPECT_GE(pcm.maxRowCellWrites(), pcm2.maxRowCellWrites());
+    EXPECT_GT(pcm2.stats().scalarValue("gapMoves"), 0.0);
+    EXPECT_GT(pcm2.cellBlockWrites(), pcm.cellBlockWrites());
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Simulation kernel tests: event queue ordering, timing, and clock
+ * domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+
+using namespace obfusmem;
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&]() { order.push_back(3); });
+    eq.schedule(100, [&]() { order.push_back(1); });
+    eq.schedule(200, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(50, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&]() {
+        eq.scheduleAfter(50, [&]() { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly)
+{
+    EventQueue eq;
+    int executed = 0;
+    eq.schedule(100, [&]() { ++executed; });
+    eq.schedule(200, [&]() { ++executed; });
+    uint64_t count = eq.run(150);
+    EXPECT_EQ(count, 1u);
+    EXPECT_EQ(executed, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(executed, 2);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int executed = 0;
+    eq.schedule(10, [&]() { ++executed; });
+    eq.schedule(20, [&]() { ++executed; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(executed, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(executed, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.curTick(), 99u);
+    EXPECT_EQ(eq.eventsExecuted(), 100u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, []() {}), "in the past");
+}
+
+TEST(ClockDomain, CoreClockIs2GHz)
+{
+    EXPECT_EQ(coreClock.period(), 500u);
+    EXPECT_EQ(coreClock.cyclesToTicks(2), 1000u);
+    EXPECT_EQ(coreClock.ticksToCycles(1499), 2u);
+}
+
+TEST(ClockDomain, BusClockIs800MHz)
+{
+    EXPECT_EQ(busClock.period(), 1250u);
+}
+
+TEST(ClockDomain, CryptoClockIs4ns)
+{
+    EXPECT_EQ(cryptoClock.period(), 4000u);
+}
+
+TEST(ClockDomain, FromMhz)
+{
+    EXPECT_EQ(ClockDomain::fromMhz(1000).period(), 1000u);
+    EXPECT_EQ(ClockDomain::fromMhz(2000).period(), 500u);
+}
+
+TEST(ClockDomain, NextEdgeAligns)
+{
+    ClockDomain clk(100);
+    EXPECT_EQ(clk.nextEdge(0), 0u);
+    EXPECT_EQ(clk.nextEdge(1), 100u);
+    EXPECT_EQ(clk.nextEdge(100), 100u);
+    EXPECT_EQ(clk.nextEdge(101), 200u);
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(tickPerNs, 1000u);
+    EXPECT_EQ(tickPerUs, 1000000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+}

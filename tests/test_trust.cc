@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Trust architecture tests: identities, certification, write-once key
+ * registers, the three boot approaches, MITM attacks, and component
+ * upgrades (paper Sec. 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trust/boot.hh"
+#include "trust/identity.hh"
+#include "util/random.hh"
+
+using namespace obfusmem;
+using namespace obfusmem::trust;
+
+namespace {
+
+constexpr size_t keyBits = 128; // small keys keep tests fast
+
+struct Parties
+{
+    Random rng{77};
+    Manufacturer procMaker{"ProcCorp", keyBits, rng};
+    Manufacturer memMaker{"MemCorp", keyBits, rng};
+    Component proc{"cpu0", procMaker, keyBits, true, rng};
+    Component mem{"hbm0", memMaker, keyBits, true, rng};
+
+    void
+    provision()
+    {
+        ASSERT_TRUE(proc.peerKeys().burn(mem.publicKey()));
+        ASSERT_TRUE(mem.peerKeys().burn(proc.publicKey()));
+    }
+};
+
+} // namespace
+
+TEST(Identity, MeasurementDigestIsStable)
+{
+    Parties p;
+    EXPECT_EQ(p.proc.measurement().digest(),
+              p.proc.measurement().digest());
+    EXPECT_NE(p.proc.measurement().digest(),
+              p.mem.measurement().digest());
+}
+
+TEST(Identity, CertificateVerifiesAgainstIssuer)
+{
+    Parties p;
+    EXPECT_TRUE(p.proc.certificate().verify(p.procMaker.caPublicKey()));
+    EXPECT_TRUE(p.mem.certificate().verify(p.memMaker.caPublicKey()));
+}
+
+TEST(Identity, CertificateFailsAgainstWrongCa)
+{
+    Parties p;
+    EXPECT_FALSE(p.proc.certificate().verify(p.memMaker.caPublicKey()));
+}
+
+TEST(Identity, KeyRegistersAreWriteOnceWithSpares)
+{
+    KeyRegisterFile regs(2); // 1 primary + 2 spares
+    crypto::RsaPublicKey k1{crypto::BigUint(11), crypto::BigUint(3)};
+    crypto::RsaPublicKey k2{crypto::BigUint(13), crypto::BigUint(3)};
+    crypto::RsaPublicKey k3{crypto::BigUint(17), crypto::BigUint(3)};
+    crypto::RsaPublicKey k4{crypto::BigUint(19), crypto::BigUint(3)};
+    EXPECT_TRUE(regs.burn(k1));
+    EXPECT_TRUE(regs.burn(k2));
+    EXPECT_TRUE(regs.burn(k3));
+    EXPECT_FALSE(regs.burn(k4)); // exhausted
+    EXPECT_TRUE(regs.contains(k2));
+    EXPECT_FALSE(regs.contains(k4));
+    EXPECT_EQ(regs.slotsUsed(), 3u);
+    EXPECT_EQ(regs.slotsFree(), 0u);
+}
+
+TEST(Boot, NaiveSucceedsWithoutAttacker)
+{
+    Parties p;
+    BootResult r = BootProtocol::run(BootApproach::Naive, p.proc,
+                                     p.mem, 2, p.rng);
+    EXPECT_TRUE(r.success);
+    EXPECT_FALSE(r.attackerHoldsKeys);
+    ASSERT_EQ(r.channelKeys.size(), 2u);
+    EXPECT_NE(r.channelKeys[0], r.channelKeys[1]);
+}
+
+TEST(Boot, NaiveIsSilentlyBrokenByMitm)
+{
+    // The paper rejects the naive approach: an active attacker on the
+    // exposed bus completes the handshake undetected and holds keys.
+    Parties p;
+    MitmAttacker attacker(p.rng);
+    BootResult r = BootProtocol::run(BootApproach::Naive, p.proc,
+                                     p.mem, 1, p.rng, &attacker);
+    EXPECT_TRUE(r.success); // nobody noticed...
+    EXPECT_TRUE(r.attackerHoldsKeys); // ...but the attacker is in
+}
+
+TEST(Boot, TrustedIntegratorSucceedsWhenProvisioned)
+{
+    Parties p;
+    p.provision();
+    BootResult r = BootProtocol::run(BootApproach::TrustedIntegrator,
+                                     p.proc, p.mem, 4, p.rng);
+    EXPECT_TRUE(r.success) << r.failureReason;
+    EXPECT_EQ(r.channelKeys.size(), 4u);
+    EXPECT_FALSE(r.attackerHoldsKeys);
+}
+
+TEST(Boot, TrustedIntegratorFailsWithoutProvisioning)
+{
+    Parties p;
+    BootResult r = BootProtocol::run(BootApproach::TrustedIntegrator,
+                                     p.proc, p.mem, 1, p.rng);
+    EXPECT_FALSE(r.success);
+    EXPECT_NE(r.failureReason.find("not present"), std::string::npos);
+}
+
+TEST(Boot, TrustedIntegratorDetectsMitm)
+{
+    Parties p;
+    p.provision();
+    MitmAttacker attacker(p.rng);
+    BootResult r = BootProtocol::run(BootApproach::TrustedIntegrator,
+                                     p.proc, p.mem, 1, p.rng,
+                                     &attacker);
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.attackerHoldsKeys);
+    EXPECT_NE(r.failureReason.find("signature"), std::string::npos);
+}
+
+TEST(Boot, AttestationSucceedsWithHonestIntegrator)
+{
+    Parties p;
+    p.provision();
+    BootResult r = BootProtocol::run(BootApproach::UntrustedIntegrator,
+                                     p.proc, p.mem, 2, p.rng);
+    EXPECT_TRUE(r.success) << r.failureReason;
+}
+
+TEST(Boot, AttestationCatchesWrongBurnedKey)
+{
+    // A malicious integrator burns its own key instead of the real
+    // memory's: attestation reveals the mismatch (paper's untrusted
+    // integrator scenario).
+    Parties p;
+    Component impostor("evil-dimm", p.memMaker, keyBits, true, p.rng);
+    ASSERT_TRUE(p.proc.peerKeys().burn(impostor.publicKey()));
+    ASSERT_TRUE(p.mem.peerKeys().burn(p.proc.publicKey()));
+    BootResult r = BootProtocol::run(BootApproach::UntrustedIntegrator,
+                                     p.proc, p.mem, 1, p.rng);
+    EXPECT_FALSE(r.success);
+    EXPECT_NE(r.failureReason.find("burned key"), std::string::npos);
+}
+
+TEST(Boot, AttestationRejectsNonObfusMemParts)
+{
+    Parties p;
+    Component legacy("plain-dimm", p.memMaker, keyBits, false, p.rng);
+    ASSERT_TRUE(p.proc.peerKeys().burn(legacy.publicKey()));
+    ASSERT_TRUE(legacy.peerKeys().burn(p.proc.publicKey()));
+    BootResult r = BootProtocol::run(BootApproach::UntrustedIntegrator,
+                                     p.proc, legacy, 1, p.rng);
+    EXPECT_FALSE(r.success);
+    EXPECT_NE(r.failureReason.find("capable"), std::string::npos);
+}
+
+TEST(Boot, RebootProducesFreshSessionKeys)
+{
+    Parties p;
+    p.provision();
+    BootResult first = BootProtocol::run(
+        BootApproach::TrustedIntegrator, p.proc, p.mem, 1, p.rng);
+    BootResult second = BootProtocol::run(
+        BootApproach::TrustedIntegrator, p.proc, p.mem, 1, p.rng);
+    ASSERT_TRUE(first.success);
+    ASSERT_TRUE(second.success);
+    EXPECT_NE(first.channelKeys[0], second.channelKeys[0]);
+}
+
+TEST(Boot, ComponentUpgradeUsesSpareRegisters)
+{
+    Parties p;
+    p.provision();
+    // Replace the memory module: burn the new module's key into the
+    // processor's spare slot.
+    Component new_mem("hbm1", p.memMaker, keyBits, true, p.rng);
+    EXPECT_TRUE(BootProtocol::upgradeComponent(p.proc, new_mem));
+    ASSERT_TRUE(new_mem.peerKeys().burn(p.proc.publicKey()));
+    BootResult r = BootProtocol::run(BootApproach::TrustedIntegrator,
+                                     p.proc, new_mem, 1, p.rng);
+    EXPECT_TRUE(r.success) << r.failureReason;
+}
+
+TEST(Boot, UpgradesExhaustSpares)
+{
+    Parties p;
+    p.provision(); // slot 1 of 3 used
+    Component m2("hbm2", p.memMaker, keyBits, true, p.rng);
+    Component m3("hbm3", p.memMaker, keyBits, true, p.rng);
+    Component m4("hbm4", p.memMaker, keyBits, true, p.rng);
+    EXPECT_TRUE(BootProtocol::upgradeComponent(p.proc, m2));
+    EXPECT_TRUE(BootProtocol::upgradeComponent(p.proc, m3));
+    // Default registers: 1 primary + 2 spares -> the fourth burn
+    // fails, capturing "limited number of component upgrades".
+    EXPECT_FALSE(BootProtocol::upgradeComponent(p.proc, m4));
+}
