@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dummy_policy"
+  "../bench/ablation_dummy_policy.pdb"
+  "CMakeFiles/ablation_dummy_policy.dir/ablation_dummy_policy.cc.o"
+  "CMakeFiles/ablation_dummy_policy.dir/ablation_dummy_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dummy_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

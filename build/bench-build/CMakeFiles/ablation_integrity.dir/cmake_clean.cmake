@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_integrity"
+  "../bench/ablation_integrity.pdb"
+  "CMakeFiles/ablation_integrity.dir/ablation_integrity.cc.o"
+  "CMakeFiles/ablation_integrity.dir/ablation_integrity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mac_mode"
+  "../bench/ablation_mac_mode.pdb"
+  "CMakeFiles/ablation_mac_mode.dir/ablation_mac_mode.cc.o"
+  "CMakeFiles/ablation_mac_mode.dir/ablation_mac_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mac_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

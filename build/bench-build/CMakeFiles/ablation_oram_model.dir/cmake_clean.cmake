@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_oram_model"
+  "../bench/ablation_oram_model.pdb"
+  "CMakeFiles/ablation_oram_model.dir/ablation_oram_model.cc.o"
+  "CMakeFiles/ablation_oram_model.dir/ablation_oram_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oram_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

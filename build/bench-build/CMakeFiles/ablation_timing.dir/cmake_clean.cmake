@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_timing"
+  "../bench/ablation_timing.pdb"
+  "CMakeFiles/ablation_timing.dir/ablation_timing.cc.o"
+  "CMakeFiles/ablation_timing.dir/ablation_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

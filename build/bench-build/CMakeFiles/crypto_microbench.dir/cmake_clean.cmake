@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crypto_microbench"
+  "../bench/crypto_microbench.pdb"
+  "CMakeFiles/crypto_microbench.dir/crypto_microbench.cc.o"
+  "CMakeFiles/crypto_microbench.dir/crypto_microbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_channels"
+  "../bench/fig5_channels.pdb"
+  "CMakeFiles/fig5_channels.dir/fig5_channels.cc.o"
+  "CMakeFiles/fig5_channels.dir/fig5_channels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_energy_lifetime"
+  "../bench/sec52_energy_lifetime.pdb"
+  "CMakeFiles/sec52_energy_lifetime.dir/sec52_energy_lifetime.cc.o"
+  "CMakeFiles/sec52_energy_lifetime.dir/sec52_energy_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_energy_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_oram_vs_obfusmem"
+  "../bench/table3_oram_vs_obfusmem.pdb"
+  "CMakeFiles/table3_oram_vs_obfusmem.dir/table3_oram_vs_obfusmem.cc.o"
+  "CMakeFiles/table3_oram_vs_obfusmem.dir/table3_oram_vs_obfusmem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_oram_vs_obfusmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_oram_vs_obfusmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_oram_vs_obfusmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_snooper.dir/bus_snooper.cpp.o"
+  "CMakeFiles/bus_snooper.dir/bus_snooper.cpp.o.d"
+  "bus_snooper"
+  "bus_snooper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_snooper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_lifetime.dir/nvm_lifetime.cpp.o"
+  "CMakeFiles/nvm_lifetime.dir/nvm_lifetime.cpp.o.d"
+  "nvm_lifetime"
+  "nvm_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

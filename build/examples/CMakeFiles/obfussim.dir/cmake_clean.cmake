@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfussim.dir/obfussim.cpp.o"
+  "CMakeFiles/obfussim.dir/obfussim.cpp.o.d"
+  "obfussim"
+  "obfussim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfussim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_vs_obfusmem.dir/oram_vs_obfusmem.cpp.o"
+  "CMakeFiles/oram_vs_obfusmem.dir/oram_vs_obfusmem.cpp.o.d"
+  "oram_vs_obfusmem"
+  "oram_vs_obfusmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_vs_obfusmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/om_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/om_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/om_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/om_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfusmem/CMakeFiles/om_obfusmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/om_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/om_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/om_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/om_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

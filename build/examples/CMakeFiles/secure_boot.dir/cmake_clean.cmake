@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_boot.dir/secure_boot.cpp.o"
+  "CMakeFiles/secure_boot.dir/secure_boot.cpp.o.d"
+  "secure_boot"
+  "secure_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache_hierarchy.cc" "src/cpu/CMakeFiles/om_cpu.dir/cache_hierarchy.cc.o" "gcc" "src/cpu/CMakeFiles/om_cpu.dir/cache_hierarchy.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/om_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/om_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/trace_workload.cc" "src/cpu/CMakeFiles/om_cpu.dir/trace_workload.cc.o" "gcc" "src/cpu/CMakeFiles/om_cpu.dir/trace_workload.cc.o.d"
+  "/root/repo/src/cpu/workload.cc" "src/cpu/CMakeFiles/om_cpu.dir/workload.cc.o" "gcc" "src/cpu/CMakeFiles/om_cpu.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/om_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/om_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

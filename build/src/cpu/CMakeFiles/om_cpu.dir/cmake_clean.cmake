@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_cpu.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/om_cpu.dir/cache_hierarchy.cc.o.d"
+  "CMakeFiles/om_cpu.dir/core.cc.o"
+  "CMakeFiles/om_cpu.dir/core.cc.o.d"
+  "CMakeFiles/om_cpu.dir/trace_workload.cc.o"
+  "CMakeFiles/om_cpu.dir/trace_workload.cc.o.d"
+  "CMakeFiles/om_cpu.dir/workload.cc.o"
+  "CMakeFiles/om_cpu.dir/workload.cc.o.d"
+  "libom_cpu.a"
+  "libom_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/om_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/om_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/ctr_mode.cc" "src/crypto/CMakeFiles/om_crypto.dir/ctr_mode.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/ctr_mode.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/crypto/CMakeFiles/om_crypto.dir/dh.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/dh.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/om_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/crypto/CMakeFiles/om_crypto.dir/md5.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/md5.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/om_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/om_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/om_crypto.dir/sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/om_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

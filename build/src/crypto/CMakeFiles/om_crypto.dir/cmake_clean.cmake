@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_crypto.dir/aes128.cc.o"
+  "CMakeFiles/om_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/om_crypto.dir/bignum.cc.o"
+  "CMakeFiles/om_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/om_crypto.dir/ctr_mode.cc.o"
+  "CMakeFiles/om_crypto.dir/ctr_mode.cc.o.d"
+  "CMakeFiles/om_crypto.dir/dh.cc.o"
+  "CMakeFiles/om_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/om_crypto.dir/hmac.cc.o"
+  "CMakeFiles/om_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/om_crypto.dir/md5.cc.o"
+  "CMakeFiles/om_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/om_crypto.dir/rsa.cc.o"
+  "CMakeFiles/om_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/om_crypto.dir/sha1.cc.o"
+  "CMakeFiles/om_crypto.dir/sha1.cc.o.d"
+  "libom_crypto.a"
+  "libom_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/mem/CMakeFiles/om_mem.dir/address_map.cc.o" "gcc" "src/mem/CMakeFiles/om_mem.dir/address_map.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/om_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/om_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/channel_bus.cc" "src/mem/CMakeFiles/om_mem.dir/channel_bus.cc.o" "gcc" "src/mem/CMakeFiles/om_mem.dir/channel_bus.cc.o.d"
+  "/root/repo/src/mem/pcm_controller.cc" "src/mem/CMakeFiles/om_mem.dir/pcm_controller.cc.o" "gcc" "src/mem/CMakeFiles/om_mem.dir/pcm_controller.cc.o.d"
+  "/root/repo/src/mem/wear_leveling.cc" "src/mem/CMakeFiles/om_mem.dir/wear_leveling.cc.o" "gcc" "src/mem/CMakeFiles/om_mem.dir/wear_leveling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/om_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/om_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

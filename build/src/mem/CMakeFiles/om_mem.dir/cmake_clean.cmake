@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_mem.dir/address_map.cc.o"
+  "CMakeFiles/om_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/om_mem.dir/backing_store.cc.o"
+  "CMakeFiles/om_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/om_mem.dir/channel_bus.cc.o"
+  "CMakeFiles/om_mem.dir/channel_bus.cc.o.d"
+  "CMakeFiles/om_mem.dir/pcm_controller.cc.o"
+  "CMakeFiles/om_mem.dir/pcm_controller.cc.o.d"
+  "CMakeFiles/om_mem.dir/wear_leveling.cc.o"
+  "CMakeFiles/om_mem.dir/wear_leveling.cc.o.d"
+  "libom_mem.a"
+  "libom_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

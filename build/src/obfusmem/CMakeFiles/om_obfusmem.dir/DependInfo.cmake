@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obfusmem/mac_engine.cc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/mac_engine.cc.o" "gcc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/mac_engine.cc.o.d"
+  "/root/repo/src/obfusmem/mem_side.cc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/mem_side.cc.o" "gcc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/mem_side.cc.o.d"
+  "/root/repo/src/obfusmem/observer.cc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/observer.cc.o" "gcc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/observer.cc.o.d"
+  "/root/repo/src/obfusmem/plain_path.cc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/plain_path.cc.o" "gcc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/plain_path.cc.o.d"
+  "/root/repo/src/obfusmem/proc_side.cc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/proc_side.cc.o" "gcc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/proc_side.cc.o.d"
+  "/root/repo/src/obfusmem/wire_format.cc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/wire_format.cc.o" "gcc" "src/obfusmem/CMakeFiles/om_obfusmem.dir/wire_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/om_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/om_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/om_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_obfusmem.dir/mac_engine.cc.o"
+  "CMakeFiles/om_obfusmem.dir/mac_engine.cc.o.d"
+  "CMakeFiles/om_obfusmem.dir/mem_side.cc.o"
+  "CMakeFiles/om_obfusmem.dir/mem_side.cc.o.d"
+  "CMakeFiles/om_obfusmem.dir/observer.cc.o"
+  "CMakeFiles/om_obfusmem.dir/observer.cc.o.d"
+  "CMakeFiles/om_obfusmem.dir/plain_path.cc.o"
+  "CMakeFiles/om_obfusmem.dir/plain_path.cc.o.d"
+  "CMakeFiles/om_obfusmem.dir/proc_side.cc.o"
+  "CMakeFiles/om_obfusmem.dir/proc_side.cc.o.d"
+  "CMakeFiles/om_obfusmem.dir/wire_format.cc.o"
+  "CMakeFiles/om_obfusmem.dir/wire_format.cc.o.d"
+  "libom_obfusmem.a"
+  "libom_obfusmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_obfusmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

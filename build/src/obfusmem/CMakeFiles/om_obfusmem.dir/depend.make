@@ -1,0 +1,2 @@
+# Empty dependencies file for om_obfusmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oram/oram_controller.cc" "src/oram/CMakeFiles/om_oram.dir/oram_controller.cc.o" "gcc" "src/oram/CMakeFiles/om_oram.dir/oram_controller.cc.o.d"
+  "/root/repo/src/oram/path_oram.cc" "src/oram/CMakeFiles/om_oram.dir/path_oram.cc.o" "gcc" "src/oram/CMakeFiles/om_oram.dir/path_oram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/om_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfusmem/CMakeFiles/om_obfusmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/om_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/om_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/om_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_oram.dir/oram_controller.cc.o"
+  "CMakeFiles/om_oram.dir/oram_controller.cc.o.d"
+  "CMakeFiles/om_oram.dir/path_oram.cc.o"
+  "CMakeFiles/om_oram.dir/path_oram.cc.o.d"
+  "libom_oram.a"
+  "libom_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

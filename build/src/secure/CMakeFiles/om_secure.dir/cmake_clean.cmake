@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_secure.dir/encryption_engine.cc.o"
+  "CMakeFiles/om_secure.dir/encryption_engine.cc.o.d"
+  "CMakeFiles/om_secure.dir/merkle.cc.o"
+  "CMakeFiles/om_secure.dir/merkle.cc.o.d"
+  "libom_secure.a"
+  "libom_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

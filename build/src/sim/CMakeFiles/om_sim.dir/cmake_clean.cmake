@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_sim.dir/event_queue.cc.o"
+  "CMakeFiles/om_sim.dir/event_queue.cc.o.d"
+  "libom_sim.a"
+  "libom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_system.dir/system.cc.o"
+  "CMakeFiles/om_system.dir/system.cc.o.d"
+  "libom_system.a"
+  "libom_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_trust.dir/boot.cc.o"
+  "CMakeFiles/om_trust.dir/boot.cc.o.d"
+  "CMakeFiles/om_trust.dir/identity.cc.o"
+  "CMakeFiles/om_trust.dir/identity.cc.o.d"
+  "libom_trust.a"
+  "libom_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

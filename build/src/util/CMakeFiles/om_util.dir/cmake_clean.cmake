@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_util.dir/logging.cc.o"
+  "CMakeFiles/om_util.dir/logging.cc.o.d"
+  "CMakeFiles/om_util.dir/random.cc.o"
+  "CMakeFiles/om_util.dir/random.cc.o.d"
+  "CMakeFiles/om_util.dir/stats.cc.o"
+  "CMakeFiles/om_util.dir/stats.cc.o.d"
+  "libom_util.a"
+  "libom_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_bignum.dir/test_crypto_bignum.cc.o"
+  "CMakeFiles/test_crypto_bignum.dir/test_crypto_bignum.cc.o.d"
+  "test_crypto_bignum"
+  "test_crypto_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_dh_rsa.dir/test_crypto_dh_rsa.cc.o"
+  "CMakeFiles/test_crypto_dh_rsa.dir/test_crypto_dh_rsa.cc.o.d"
+  "test_crypto_dh_rsa"
+  "test_crypto_dh_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_dh_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encryption_engine.dir/test_encryption_engine.cc.o"
+  "CMakeFiles/test_encryption_engine.dir/test_encryption_engine.cc.o.d"
+  "test_encryption_engine"
+  "test_encryption_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encryption_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obfusmem.dir/test_obfusmem.cc.o"
+  "CMakeFiles/test_obfusmem.dir/test_obfusmem.cc.o.d"
+  "test_obfusmem"
+  "test_obfusmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obfusmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trust.dir/test_trust.cc.o"
+  "CMakeFiles/test_trust.dir/test_trust.cc.o.d"
+  "test_trust"
+  "test_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

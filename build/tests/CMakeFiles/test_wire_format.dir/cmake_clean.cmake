@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_format.dir/test_wire_format.cc.o"
+  "CMakeFiles/test_wire_format.dir/test_wire_format.cc.o.d"
+  "test_wire_format"
+  "test_wire_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
