@@ -36,6 +36,55 @@ xorInto(uint8_t *dst, const uint8_t *src, size_t len)
         dst[i] ^= src[i];
 }
 
+/**
+ * Constant-time byte-buffer equality for MAC tags, digests and other
+ * secret-dependent comparisons. An early-exit comparison (memcmp,
+ * operator== on std::array) leaks the length of the matching prefix
+ * through timing, which is how real HMAC verifiers have been broken
+ * byte by byte; this accumulates the whole difference before testing.
+ *
+ * tools/lint/repo_lint.py flags direct ==/!= comparisons of
+ * MAC/digest values so new verification code goes through here.
+ */
+inline bool
+ctEqual(const uint8_t *a, const uint8_t *b, size_t len)
+{
+    volatile uint8_t acc = 0;
+    for (size_t i = 0; i < len; ++i)
+        acc = acc | static_cast<uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+/** Constant-time equality of two equal-length byte containers. */
+template <typename C>
+bool
+ctEqual(const C &a, const C &b)
+{
+    static_assert(std::tuple_size<C>::value > 0,
+                  "ctEqual needs fixed-size containers");
+    return ctEqual(a.data(), b.data(), a.size());
+}
+
+/**
+ * Zero a buffer in a way the optimizer may not elide, for scrubbing
+ * key material after copies (cf. the repo-lint key-copy rule).
+ */
+inline void
+secureZero(uint8_t *buf, size_t len)
+{
+    volatile uint8_t *p = buf;
+    for (size_t i = 0; i < len; ++i)
+        p[i] = 0;
+}
+
+/** Scrub a fixed-size container holding key material. */
+template <typename C>
+void
+secureZero(C &c)
+{
+    secureZero(c.data(), c.size());
+}
+
 /** Render a byte buffer as lowercase hex. */
 inline std::string
 toHex(const uint8_t *buf, size_t len)

@@ -8,6 +8,8 @@
 #include <array>
 #include <cstring>
 
+#include "crypto/bytes.hh"
+
 namespace obfusmem {
 namespace crypto {
 
@@ -42,7 +44,14 @@ hmac(const uint8_t *key, size_t key_len, const uint8_t *msg,
     Ctx outer;
     outer.update(opad.data(), opad.size());
     outer.update(inner_digest.data(), inner_digest.size());
-    return outer.finalize();
+    Digest out = outer.finalize();
+
+    // Key-derived material lived on the stack; scrub it before the
+    // frame is released for reuse.
+    secureZero(k);
+    secureZero(ipad);
+    secureZero(opad);
+    return out;
 }
 
 } // namespace

@@ -7,6 +7,8 @@
 
 #include <cmath>
 
+#include "util/assert.hh"
+
 namespace obfusmem {
 
 ChannelBus::ChannelBus(const std::string &name, EventQueue &eq,
@@ -36,6 +38,12 @@ void
 ChannelBus::send(BusDir dir, uint32_t bytes, uint64_t snoop_addr,
                  bool snoop_is_write, std::function<void()> deliver)
 {
+    OBF_ASSERT(deliver != nullptr, "bus message without a receiver");
+    // A message is at most header + 64-byte payload + MAC; anything
+    // larger means a wire-size accounting bug upstream, which would
+    // silently skew every bandwidth and obfuscation result.
+    OBF_DCHECK(bytes <= 4096, "implausible bus message of ", bytes,
+               " bytes on channel ", channel);
     pending.push_back(Message{dir, bytes, snoop_addr, snoop_is_write,
                               std::move(deliver)});
     enqueueTicks.push_back(curTick());

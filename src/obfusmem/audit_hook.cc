@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Audit event name tables.
+ */
+
+#include "obfusmem/audit_hook.hh"
+
+namespace obfusmem {
+
+const char *
+endpointSideName(EndpointSide side)
+{
+    switch (side) {
+      case EndpointSide::Processor: return "proc";
+      case EndpointSide::Memory: return "mem";
+    }
+    return "?";
+}
+
+const char *
+counterStreamName(CounterStream stream)
+{
+    switch (stream) {
+      case CounterStream::Request: return "req";
+      case CounterStream::Response: return "resp";
+    }
+    return "?";
+}
+
+const char *
+channelIncidentName(ChannelIncident incident)
+{
+    switch (incident) {
+      case ChannelIncident::HeaderDesync: return "header-desync";
+      case ChannelIncident::MacMismatch: return "mac-mismatch";
+      case ChannelIncident::UnknownTag: return "unknown-tag";
+    }
+    return "?";
+}
+
+} // namespace obfusmem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Endpoint-side audit instrumentation interface.
+ *
+ * The bus probe (mem/channel_bus.hh) only sees what an attacker sees:
+ * ciphertext bytes and timing. Verifying the paper's *internal*
+ * invariants - strictly monotonic per-channel counters, no pad (i.e.
+ * counter value) ever consumed twice, both endpoints consuming the
+ * same counter stream (Sec. 3.5) - needs the trusted endpoints to
+ * report what counter values they actually burn. Controllers call an
+ * AuditHook at every pad consumption and on every detected incident;
+ * src/check/TraceAuditor implements it. The hook is optional and
+ * null by default, so production configurations pay one pointer test
+ * per event.
+ */
+
+#ifndef OBFUSMEM_OBFUSMEM_AUDIT_HOOK_HH
+#define OBFUSMEM_OBFUSMEM_AUDIT_HOOK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace obfusmem {
+
+/** Which trusted endpoint reports an event. */
+enum class EndpointSide : uint8_t { Processor, Memory };
+
+/**
+ * Which counter stream a pad was drawn from. Requests flow processor
+ * to memory, responses the other way; the two streams use distinct
+ * CTR nonces (2c and 2c+1), so uniqueness is per stream.
+ */
+enum class CounterStream : uint8_t { Request, Response };
+
+/** An anomaly a trusted endpoint detected on its own. */
+enum class ChannelIncident : uint8_t
+{
+    /** Header failed to decrypt: counter desync / drop / injection. */
+    HeaderDesync,
+    /** MAC mismatch: tampering or replay. */
+    MacMismatch,
+    /** Well-formed reply carrying a tag with no outstanding request. */
+    UnknownTag,
+};
+
+/** Human-readable endpoint-side name. */
+const char *endpointSideName(EndpointSide side);
+/** Human-readable counter-stream name. */
+const char *counterStreamName(CounterStream stream);
+/** Human-readable incident name. */
+const char *channelIncidentName(ChannelIncident incident);
+
+/**
+ * Receiver of endpoint audit events. Implementations must tolerate
+ * events from multiple channels interleaved in simulation order.
+ */
+class AuditHook
+{
+  public:
+    virtual ~AuditHook() = default;
+
+    /**
+     * An endpoint consumed pads [first, first + count) of a stream.
+     * Reported at the granularity the wire format burns them (header
+     * pads singly, payload pads as a run of four), so gaps are legal
+     * (the uniform-packet scheme skips the paired-header pad) but
+     * overlaps never are.
+     */
+    virtual void onPadUse(Tick when, unsigned channel,
+                          EndpointSide side, CounterStream stream,
+                          uint64_t first, uint64_t count) = 0;
+
+    /** An endpoint rejected a message. */
+    virtual void onIncident(Tick when, unsigned channel,
+                            EndpointSide side,
+                            ChannelIncident incident) = 0;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_OBFUSMEM_AUDIT_HOOK_HH

@@ -5,6 +5,8 @@
 
 #include "obfusmem/mac_engine.hh"
 
+#include "crypto/bytes.hh"
+
 namespace obfusmem {
 
 crypto::Md5Digest
@@ -22,7 +24,8 @@ bool
 MacEngine::verify(const WireHeader &hdr, uint64_t counter,
                   const crypto::Md5Digest &mac) const
 {
-    return compute(hdr, counter) == mac;
+    // Tag comparison must not leak the matching prefix length.
+    return crypto::ctEqual(compute(hdr, counter), mac);
 }
 
 } // namespace obfusmem

@@ -23,6 +23,7 @@
 #include "crypto/md5.hh"
 #include "obfusmem/wire_format.hh"
 #include "sim/types.hh"
+#include "util/assert.hh"
 
 namespace obfusmem {
 
@@ -51,7 +52,14 @@ class MacEngine
         Tick pipelineLatency = 64 * 4 * tickPerNs;
     };
 
-    explicit MacEngine(const Params &params) : params(params) {}
+    explicit MacEngine(const Params &params_) : params(params_)
+    {
+        // Encrypt-and-MAC exists because its residual latency hides
+        // under encryption; a config where it costs more than the
+        // full pipeline is a misconfiguration, not a mode choice.
+        OBF_DCHECK(params.overlappedLatency <= params.pipelineLatency,
+                   "overlapped MAC latency exceeds the pipeline");
+    }
 
     /** MAC over (type | address | counter). */
     crypto::Md5Digest compute(const WireHeader &hdr,

@@ -5,6 +5,7 @@
 
 #include "obfusmem/mem_side.hh"
 
+#include "util/assert.hh"
 #include "util/logging.hh"
 
 namespace obfusmem {
@@ -49,8 +50,25 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
     // ctr+0, the second with ctr+1; the group's payload (carried by
     // exactly one of them) with ctr+2..5. In the uniform-packet
     // scheme each message is a full group by itself.
+    OBF_DCHECK(groupPhase < 2, "corrupt group phase ", groupPhase);
     uint64_t hdr_ctr = reqCounter + groupPhase;
+    OBF_DCHECK(reqCounter <= UINT64_MAX - countersPerRequestGroup,
+               "request counter exhausted on channel ", channel);
     padsUsed += 1;
+
+    // Report the pads this message reserves: the group's first
+    // (read) message burns one header pad, the second (write)
+    // message burns its header pad plus the four payload pads; a
+    // uniform-scheme message reserves the whole group by itself.
+    if (audit) {
+        uint64_t count = params.uniformPackets
+                             ? countersPerRequestGroup
+                             : (groupPhase == 0
+                                    ? 1
+                                    : countersPerRequestGroup - 1);
+        audit->onPadUse(curTick(), channel, EndpointSide::Memory,
+                        CounterStream::Request, hdr_ctr, count);
+    }
 
     std::optional<WireHeader> hdr =
         decryptHeader(rxCipher, hdr_ctr, msg.cipherHeader);
@@ -73,12 +91,22 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
         // here on the link is cryptographically dead (DoS, not data
         // loss - paper Sec. 3.5).
         ++headerDesyncs;
+        if (audit) {
+            audit->onIncident(curTick(), channel,
+                              EndpointSide::Memory,
+                              ChannelIncident::HeaderDesync);
+        }
         return;
     }
 
     if (params.auth) {
         if (!msg.hasMac || !mac.verify(*hdr, hdr_ctr, msg.mac)) {
             ++macFailures;
+            if (audit) {
+                audit->onIncident(curTick(), channel,
+                                  EndpointSide::Memory,
+                                  ChannelIncident::MacMismatch);
+            }
             return;
         }
     }
@@ -183,7 +211,14 @@ ObfusMemMemSide::sendReadReply(const WireHeader &req_hdr,
                                const DataBlock &data)
 {
     uint64_t ctr = respCounter;
+    OBF_DCHECK(ctr <= UINT64_MAX - countersPerReply,
+               "response counter exhausted on channel ", channel);
     respCounter += countersPerReply;
+    if (audit) {
+        audit->onPadUse(curTick(), channel, EndpointSide::Memory,
+                        CounterStream::Response, ctr,
+                        countersPerReply);
+    }
 
     WireHeader hdr;
     hdr.cmd = MemCmd::Read;

@@ -15,6 +15,7 @@
 
 #include "crypto/ctr_mode.hh"
 #include "mem/backing_store.hh"
+#include "obfusmem/audit_hook.hh"
 #include "mem/channel_bus.hh"
 #include "mem/pcm_controller.hh"
 #include "obfusmem/params.hh"
@@ -63,6 +64,9 @@ class ObfusMemMemSide : public SimObject
     /** Test hook: skew the request counter to model message loss. */
     void skewRequestCounter(uint64_t delta) { reqCounter += delta; }
 
+    /** Attach the trace auditor's endpoint hook (may be null). */
+    void setAuditHook(AuditHook *hook) { audit = hook; }
+
     /** Pads consumed by this controller (paper Sec. 5.2 accounting). */
     uint64_t padsGenerated() const
     {
@@ -85,6 +89,7 @@ class ObfusMemMemSide : public SimObject
     const BackingStore &store;
     uint64_t dummyBlockAddr;
     Random junkRng;
+    AuditHook *audit = nullptr;
 
     std::function<void(WireMessage &&)> replyTarget;
 

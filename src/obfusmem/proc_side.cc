@@ -5,6 +5,7 @@
 
 #include "obfusmem/proc_side.hh"
 
+#include "util/assert.hh"
 #include "util/logging.hh"
 
 namespace obfusmem {
@@ -54,6 +55,16 @@ ObfusMemProcSide::ObfusMemProcSide(
                       "paired dummy writes replaced by real writes");
 }
 
+void
+ObfusMemProcSide::notifyPads(unsigned channel, CounterStream stream,
+                             uint64_t first, uint64_t count)
+{
+    if (audit) {
+        audit->onPadUse(curTick(), channel, EndpointSide::Processor,
+                        stream, first, count);
+    }
+}
+
 uint16_t
 ObfusMemProcSide::allocTag(ChannelState &cs)
 {
@@ -95,6 +106,8 @@ void
 ObfusMemProcSide::access(MemPacket pkt, PacketCallback cb)
 {
     unsigned channel = addrMap.decode(pkt.addr).channel;
+    OBF_DCHECK(channel < channelState.size(),
+               "decoded channel ", channel, " out of range");
 
     // Session Key Table lookup + pad XOR (+ MAC latency when
     // authenticating) before the messages reach the bus. Pads are
@@ -210,8 +223,20 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
 {
     ChannelState &cs = channelState[channel];
     uint64_t ctr = cs.reqCounter;
+    OBF_DCHECK(ctr <= UINT64_MAX - countersPerRequestGroup,
+               "request counter exhausted on channel ", channel);
     cs.reqCounter += countersPerRequestGroup;
     padsUsed += countersPerRequestGroup;
+    if (params.uniformPackets) {
+        notifyPads(channel, CounterStream::Request, ctr,
+                   countersPerRequestGroup);
+    } else {
+        // Split scheme: the read message burns pad ctr, the paired
+        // write burns ctr+1 (header) and ctr+2..5 (payload).
+        notifyPads(channel, CounterStream::Request, ctr, 1);
+        notifyPads(channel, CounterStream::Request, ctr + 1,
+                   countersPerRequestGroup - 1);
+    }
 
     if (params.uniformPackets) {
         // One fixed-size message per request; every request expects a
@@ -397,8 +422,18 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
     ++channelFillGroups;
     ChannelState &cs = channelState[channel];
     uint64_t ctr = cs.reqCounter;
+    OBF_DCHECK(ctr <= UINT64_MAX - countersPerRequestGroup,
+               "request counter exhausted on channel ", channel);
     cs.reqCounter += countersPerRequestGroup;
     padsUsed += countersPerRequestGroup;
+    if (params.uniformPackets) {
+        notifyPads(channel, CounterStream::Request, ctr,
+                   countersPerRequestGroup);
+    } else {
+        notifyPads(channel, CounterStream::Request, ctr, 1);
+        notifyPads(channel, CounterStream::Request, ctr + 1,
+                   countersPerRequestGroup - 1);
+    }
 
     if (params.uniformPackets) {
         // One uniform dummy read message fills the channel.
@@ -504,20 +539,36 @@ ObfusMemProcSide::transmit(unsigned channel, WireMessage msg)
 void
 ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
 {
+    OBF_ASSERT(channel < channelState.size(),
+               "reply for unknown channel ", channel);
     ChannelState &cs = channelState[channel];
     uint64_t ctr = cs.respCounter;
+    OBF_DCHECK(ctr <= UINT64_MAX - countersPerReply,
+               "response counter exhausted on channel ", channel);
     cs.respCounter += countersPerReply;
     padsUsed += countersPerReply;
+    notifyPads(channel, CounterStream::Response, ctr,
+               countersPerReply);
 
     std::optional<WireHeader> hdr =
         decryptHeader(cs.rx, ctr, msg.cipherHeader);
     if (!hdr) {
         ++headerDesyncs;
+        if (audit) {
+            audit->onIncident(curTick(), channel,
+                              EndpointSide::Processor,
+                              ChannelIncident::HeaderDesync);
+        }
         return;
     }
     if (params.auth) {
         if (!msg.hasMac || !mac.verify(*hdr, ctr, msg.mac)) {
             ++macFailures;
+            if (audit) {
+                audit->onIncident(curTick(), channel,
+                                  EndpointSide::Processor,
+                                  ChannelIncident::MacMismatch);
+            }
             return;
         }
     }
@@ -527,6 +578,11 @@ ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
     auto it = cs.pending.find(hdr->tag);
     if (it == cs.pending.end()) {
         ++headerDesyncs; // reply for an unknown tag
+        if (audit) {
+            audit->onIncident(curTick(), channel,
+                              EndpointSide::Processor,
+                              ChannelIncident::UnknownTag);
+        }
         return;
     }
     PendingRead pending = std::move(it->second);

@@ -18,6 +18,7 @@
 
 #include "crypto/ctr_mode.hh"
 #include "mem/address_map.hh"
+#include "obfusmem/audit_hook.hh"
 #include "mem/channel_bus.hh"
 #include "mem/packet.hh"
 #include "obfusmem/params.hh"
@@ -89,6 +90,9 @@ class ObfusMemProcSide : public SimObject, public MemSink
         channelState[channel].respCounter += delta;
     }
 
+    /** Attach the trace auditor's endpoint hook (may be null). */
+    void setAuditHook(AuditHook *hook) { audit = hook; }
+
   private:
     struct PendingRead
     {
@@ -151,11 +155,16 @@ class ObfusMemProcSide : public SimObject, public MemSink
     uint64_t dummyAddrFor(unsigned channel, uint64_t real_addr);
     uint16_t allocTag(ChannelState &cs);
 
+    /** Report a request-stream pad run to the auditor, if attached. */
+    void notifyPads(unsigned channel, CounterStream stream,
+                    uint64_t first, uint64_t count);
+
     ObfusMemParams params;
     const AddressMap &addrMap;
     MacEngine mac;
     std::vector<ChannelState> channelState;
     Random junkRng;
+    AuditHook *audit = nullptr;
 
     statistics::Scalar realReads, realWrites;
     statistics::Scalar pairedDummies;

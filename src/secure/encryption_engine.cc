@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "util/assert.hh"
 #include "util/logging.hh"
 
 namespace obfusmem {
@@ -80,6 +81,8 @@ MemoryEncryptionEngine::padsFor(uint64_t addr, const PageCounters &ctrs,
                                 crypto::Block128 out[4]) const
 {
     unsigned block_idx = blockIndexOf(addr);
+    OBF_DCHECK(block_idx < ctrs.minors.size(),
+               "block index ", block_idx, " outside page counters");
     crypto::MemoryEncryptionIv iv;
     iv.pageId = pageOf(addr);
     iv.pageOffset = block_idx;

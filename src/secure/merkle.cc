@@ -5,6 +5,7 @@
 
 #include "secure/merkle.hh"
 
+#include "crypto/bytes.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -85,7 +86,10 @@ bool
 MerkleTree::verify(uint64_t leaf, const Digest &leaf_digest) const
 {
     panic_if(leaf >= leaves, "leaf index out of range");
-    if (nodeDigest(0, leaf) != leaf_digest)
+    // Digest comparisons on the verification path are constant-time:
+    // the attacker controls memory contents and could otherwise probe
+    // a match byte by byte through timing.
+    if (!crypto::ctEqual(nodeDigest(0, leaf), leaf_digest))
         return false;
 
     // Recompute the path and compare against the stored interior
@@ -106,7 +110,7 @@ MerkleTree::verify(uint64_t leaf, const Digest &leaf_digest) const
             }
         }
         current = ctx.finalize();
-        if (current != nodeDigest(level, parent))
+        if (!crypto::ctEqual(current, nodeDigest(level, parent)))
             return false;
         index = parent;
     }

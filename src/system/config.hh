@@ -76,6 +76,16 @@ struct SystemConfig
     bool attachObserver = true;
 
     /**
+     * Attach the obliviousness trace auditor (src/check): taps every
+     * channel bus and the ObfusMem endpoints and machine-checks the
+     * paper's security invariants over the whole run. Off by default;
+     * CI and the `obfus_audit` tool turn it on. Note that on the
+     * unprotected/encryption-only paths the auditor *will* report
+     * violations - that is the point: those traces are not oblivious.
+     */
+    bool attachAuditor = false;
+
+    /**
      * Derive channel session keys with the real boot protocol
      * (trusted-integrator DH) instead of a deterministic KDF.
      */

@@ -66,15 +66,30 @@ System::buildMemoryPath()
 {
     const bool needs_buses = cfg.mode != ProtectionMode::OramFixed;
 
+    const bool obfus_mode = cfg.mode == ProtectionMode::ObfusMem
+                            || cfg.mode == ProtectionMode::ObfusMemAuth;
+
     if (needs_buses) {
         if (cfg.attachObserver)
             busObserver = std::make_unique<BusObserver>(cfg.channels);
+        if (cfg.attachAuditor) {
+            check::TraceAuditor::Params ap;
+            ap.channels = cfg.channels;
+            ap.uniformPackets =
+                obfus_mode && cfg.obfusmem.uniformPackets;
+            ap.channelScheme = obfus_mode
+                                   ? cfg.obfusmem.channelScheme
+                                   : ChannelScheme::None;
+            traceAuditor = std::make_unique<check::TraceAuditor>(ap);
+        }
         for (unsigned c = 0; c < cfg.channels; ++c) {
             buses.push_back(std::make_unique<ChannelBus>(
                 "system.bus" + std::to_string(c), eq, &root, c,
                 cfg.bus));
             if (busObserver)
                 buses.back()->attachProbe(busObserver.get());
+            if (traceAuditor)
+                buses.back()->attachProbe(traceAuditor.get());
             pcms.push_back(std::make_unique<PcmController>(
                 "system.pcm" + std::to_string(c), eq, &root, c, *map,
                 cfg.pcm, *store));
@@ -169,6 +184,12 @@ System::buildMemoryPath()
             side->setReplyTarget([proc, c](WireMessage &&msg) {
                 proc->receiveReply(c, std::move(msg));
             });
+        }
+
+        if (traceAuditor) {
+            obfusProc->setAuditHook(traceAuditor.get());
+            for (auto &side : obfusMem)
+                side->setAuditHook(traceAuditor.get());
         }
 
         EncryptionParams enc = cfg.encryption;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/trace_auditor.hh"
 #include "cpu/core.hh"
 #include "mem/backing_store.hh"
 #include "obfusmem/mem_side.hh"
@@ -83,6 +84,7 @@ class System
     BackingStore &backingStore() { return *store; }
     const AddressMap &addressMap() const { return *map; }
     BusObserver *observer() { return busObserver.get(); }
+    check::TraceAuditor *auditor() { return traceAuditor.get(); }
     MemoryEncryptionEngine *encryptionEngine() { return encEngine.get(); }
     ObfusMemProcSide *procSide() { return obfusProc.get(); }
     std::vector<std::unique_ptr<ObfusMemMemSide>> &memSides()
@@ -124,6 +126,7 @@ class System
     std::vector<std::unique_ptr<ChannelBus>> buses;
     std::vector<std::unique_ptr<PcmController>> pcms;
     std::unique_ptr<BusObserver> busObserver;
+    std::unique_ptr<check::TraceAuditor> traceAuditor;
 
     std::vector<crypto::Aes128::Key> channelKeys;
     std::unique_ptr<PlainPath> plainPath;

@@ -5,6 +5,7 @@
 
 #include "trust/boot.hh"
 
+#include "crypto/bytes.hh"
 #include "crypto/md5.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -174,7 +175,7 @@ BootProtocol::runAttested(Component &proc, Component &mem,
                                    + ": certificate invalid";
             return false;
         }
-        if (cert.measurementDigest != m.digest()) {
+        if (!crypto::ctEqual(cert.measurementDigest, m.digest())) {
             result.failureReason = target.name()
                                    + ": measurement mismatch";
             return false;

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Invariant-assertion macros layered on top of util/logging.hh.
+ *
+ * Two families, following the usual DCHECK convention:
+ *
+ *  - OBF_ASSERT(cond, ...): always compiled in. For invariants whose
+ *    violation means the simulation state is already corrupt and
+ *    continuing would silently produce wrong results.
+ *
+ *  - OBF_DCHECK(cond, ...): compiled in debug and sanitizer builds
+ *    (no NDEBUG, or -DOBFUSMEM_ENABLE_DCHECK), compiled out of
+ *    release builds. For invariants on hot paths - counter
+ *    discipline, pad accounting, queue bookkeeping - where the check
+ *    is wanted under ASan/UBSan CI but not in RelWithDebInfo
+ *    benchmark runs.
+ *
+ * Both abort via panic() so a failure is a hard stop with file/line,
+ * which is what lets sanitizer CI exercise the same invariants the
+ * trace auditor (src/check/) verifies from the outside.
+ */
+
+#ifndef OBFUSMEM_UTIL_ASSERT_HH
+#define OBFUSMEM_UTIL_ASSERT_HH
+
+#include "util/logging.hh"
+
+/** Hard invariant: always checked, aborts on violation. */
+#define OBF_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            panic("assertion failed: " #cond " - ", __VA_ARGS__);          \
+        }                                                                  \
+    } while (0)
+
+#if !defined(NDEBUG) || defined(OBFUSMEM_ENABLE_DCHECK)
+#define OBFUSMEM_DCHECK_ACTIVE 1
+/** Debug invariant: checked in debug/sanitizer builds only. */
+#define OBF_DCHECK(cond, ...) OBF_ASSERT(cond, __VA_ARGS__)
+#else
+#define OBFUSMEM_DCHECK_ACTIVE 0
+#define OBF_DCHECK(cond, ...)                                              \
+    do {                                                                   \
+    } while (0)
+#endif
+
+#endif // OBFUSMEM_UTIL_ASSERT_HH

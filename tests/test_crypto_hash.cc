@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 
 #include "crypto/bytes.hh"
@@ -169,4 +170,40 @@ TEST(Md5EngineParams, MatchesPaperSynthesis)
     EXPECT_EQ(Md5EngineParams::pipelineStages, 64u);
     EXPECT_NEAR(Md5EngineParams::powerMw, 12.5, 1e-9);
     EXPECT_NEAR(Md5EngineParams::areaMm2, 0.214, 1e-9);
+}
+
+TEST(CtEqual, MatchesAndMismatches)
+{
+    std::array<uint8_t, 16> a{}, b{};
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = b[i] = static_cast<uint8_t>(i * 7 + 3);
+    EXPECT_TRUE(ctEqual(a, b));
+
+    // A difference in any single byte must be caught - ctEqual must
+    // not short-circuit correctness while avoiding short-circuit
+    // timing.
+    for (size_t i = 0; i < a.size(); ++i) {
+        std::array<uint8_t, 16> c = b;
+        c[i] ^= 0x80;
+        EXPECT_FALSE(ctEqual(a, c)) << "byte " << i;
+    }
+}
+
+TEST(CtEqual, AgreesWithOperatorEq)
+{
+    // ctEqual guards the MAC verification path; it must agree with
+    // plain comparison on every input, differing only in timing.
+    std::array<uint8_t, 4> x{1, 2, 3, 4};
+    std::array<uint8_t, 4> y{1, 2, 3, 5};
+    EXPECT_EQ(ctEqual(x, x), x == x);
+    EXPECT_EQ(ctEqual(x, y), x == y);
+}
+
+TEST(SecureZero, ClearsBuffer)
+{
+    std::array<uint8_t, 32> key;
+    key.fill(0xa5);
+    secureZero(key);
+    for (uint8_t byte : key)
+        EXPECT_EQ(byte, 0u);
 }

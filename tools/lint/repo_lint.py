@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Repo-specific security lints for the ObfusMem simulator.
+
+Four rules, each encoding an invariant the generic toolchain cannot
+know about:
+
+  weak-rng        rand()/std::rand() anywhere outside src/util/random:
+                  the simulator's reproducibility and the crypto layer
+                  both depend on the seeded Xoshiro PRNG.
+  non-ct-compare  ==/!= on MAC or digest values in src/: verification
+                  must go through crypto::ctEqual so a mismatch costs
+                  the same time regardless of the first differing byte.
+  key-scrub       a file that memcpy()s key material must also call
+                  secureZero(): key bytes must not outlive their use on
+                  the stack or heap.
+  include-guard   headers guard with OBFUSMEM_<PATH>_HH derived from
+                  the path, so guards can never collide.
+
+Exit status is the number of findings (0 == clean). Run from anywhere;
+paths resolve relative to the repo root. `--self-test` checks the
+rules still catch known-bad exemplars (including the pre-ctEqual
+MacEngine::verify pattern).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.hh", "tests/*.cc",
+                "bench/*.cc", "examples/*.cc")
+
+RAND_RE = re.compile(r"\b(?:std::)?rand\s*\(\s*\)")
+RAND_ALLOWED = ("src/util/random",)
+
+# An ==/!= where one operand looks like MAC/digest material. The
+# whitelist below keeps counters and statistics (macVerifyFailures,
+# digestCount, ...) out of scope: those end in a quantity word.
+CT_COMPARE_RE = re.compile(
+    r"[=!]=\s*[\w.:>-]*(?:mac|digest)\b[\w.()]*"
+    r"|[\w.:>-]*\b(?:mac|digest)\b[\w.()]*\s*[=!]=",
+    re.IGNORECASE)
+CT_QUANTITY_RE = re.compile(
+    r"(?:mac|digest)\w*(?:count|fail|failures|errors|bytes|size|len|"
+    r"latency|hex|name|mode|kind)", re.IGNORECASE)
+
+MEMCPY_KEY_RE = re.compile(r"memcpy\s*\([^;]*\bkey\w*\b", re.IGNORECASE)
+
+GUARD_RE = re.compile(r"^#ifndef\s+(\w+)", re.MULTILINE)
+
+
+def finding(path, line_no, rule, message):
+    rel = path if isinstance(path, str) else path.relative_to(REPO_ROOT)
+    return f"{rel}:{line_no}: [{rule}] {message}"
+
+
+def lint_weak_rng(rel, lines):
+    if any(rel.startswith(p) for p in RAND_ALLOWED):
+        return
+    for no, line in lines:
+        if RAND_RE.search(line):
+            yield no, "weak-rng", \
+                "rand() is forbidden; use util/random.hh (Xoshiro256)"
+
+
+def lint_ct_compare(rel, lines):
+    if not rel.startswith("src/"):
+        return  # tests/bench may compare digests directly
+    for no, line in lines:
+        m = CT_COMPARE_RE.search(line)
+        if not m:
+            continue
+        if "ctEqual" in line or CT_QUANTITY_RE.search(m.group(0)):
+            continue
+        yield no, "non-ct-compare", \
+            "compare MAC/digest values with crypto::ctEqual, " \
+            "not ==/!= (timing side channel)"
+
+
+def lint_key_scrub(rel, lines, text):
+    if not rel.startswith("src/"):
+        return
+    if "secureZero" in text:
+        return
+    for no, line in lines:
+        if MEMCPY_KEY_RE.search(line):
+            yield no, "key-scrub", \
+                "file copies key material but never calls " \
+                "crypto::secureZero on it"
+
+
+def expected_guard(rel):
+    stem = rel[len("src/"):]
+    return "OBFUSMEM_" + re.sub(r"[/.]", "_", stem).upper()
+
+
+def lint_include_guard(rel, text):
+    if not (rel.startswith("src/") and rel.endswith(".hh")):
+        return
+    m = GUARD_RE.search(text)
+    want = expected_guard(rel)
+    if not m:
+        yield 1, "include-guard", f"missing include guard {want}"
+    elif m.group(1) != want:
+        yield GUARD_RE.search(text).string[:m.start()].count("\n") + 1, \
+            "include-guard", \
+            f"guard {m.group(1)} should be {want}"
+
+
+def lint_text(rel, text):
+    """All findings for one file's contents (testable entry point)."""
+    lines = [(i + 1, l) for i, l in enumerate(text.splitlines())
+             if "NOLINT" not in l]
+    out = []
+    out.extend(lint_weak_rng(rel, lines))
+    out.extend(lint_ct_compare(rel, lines))
+    out.extend(lint_key_scrub(rel, lines, text))
+    out.extend(lint_include_guard(rel, text))
+    return out
+
+
+def run(paths):
+    findings = []
+    for path in paths:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for no, rule, msg in lint_text(rel, text):
+            findings.append(finding(path, no, rule, msg))
+    return findings
+
+
+SELF_TEST_CASES = [
+    # The pre-ctEqual MacEngine::verify body must be flagged.
+    ("src/obfusmem/mac_engine.cc",
+     "    return compute(hdr, counter) == mac;\n",
+     "non-ct-compare"),
+    ("src/secure/merkle.cc",
+     "    if (computed != node.digest) return false;\n",
+     "non-ct-compare"),
+    ("src/cpu/core.cc",
+     "    int r = std::rand();\n",
+     "weak-rng"),
+    ("src/crypto/aes.cc",
+     "    std::memcpy(round_keys, key.data(), 16);\n",
+     "key-scrub"),
+    ("src/check/trace_auditor.hh",
+     "#ifndef TRACE_AUDITOR_H\n#define TRACE_AUDITOR_H\n",
+     "include-guard"),
+]
+
+SELF_TEST_CLEAN = [
+    ("src/obfusmem/mac_engine.cc",
+     "    return crypto::ctEqual(compute(hdr, counter), mac);\n"),
+    ("src/obfusmem/observer.cc",
+     "    stats.macVerifyFailures == 0;\n"),
+    ("tests/test_crypto_hash.cc",
+     "    EXPECT_TRUE(digest == expected);\n"),
+]
+
+
+def self_test():
+    failures = 0
+    for rel, snippet, rule in SELF_TEST_CASES:
+        rules = {r for _, r, _ in lint_text(rel, snippet)}
+        if rule not in rules:
+            print(f"self-test FAIL: {rule} not raised for {rel!r}")
+            failures += 1
+    for rel, snippet in SELF_TEST_CLEAN:
+        hits = lint_text(rel, snippet)
+        if hits:
+            print(f"self-test FAIL: false positive for {rel!r}: {hits}")
+            failures += 1
+    print("self-test " + ("FAILED" if failures else "passed"))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules catch known-bad code")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    paths = sorted(p for g in SOURCE_GLOBS for p in REPO_ROOT.glob(g))
+    findings = run(paths)
+    for f in findings:
+        print(f)
+    print(f"repo-lint: {len(paths)} files, {len(findings)} finding(s)")
+    return len(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
