@@ -27,32 +27,54 @@ main()
                 "----------------------------------------------------"
                 "--------------------");
 
+    const DummyPolicy policies[] = {DummyPolicy::Fixed,
+                                    DummyPolicy::Original,
+                                    DummyPolicy::Random};
+    struct Row
+    {
+        RunOutcome out;
+        double dummyPcm = 0;
+    };
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-
-        for (DummyPolicy policy :
-             {DummyPolicy::Fixed, DummyPolicy::Original,
-              DummyPolicy::Random}) {
+        cfgs.push_back(makeConfig(ProtectionMode::Unprotected, name));
+        for (DummyPolicy policy : policies) {
             SystemConfig cfg =
                 makeConfig(ProtectionMode::ObfusMemAuth, name);
             cfg.obfusmem.dummyPolicy = policy;
-            System sys(cfg);
-            auto r = sys.run();
-            double dummy_pcm = 0;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto rows =
+        sweep(cfgs, [](System &sys, const RunOutcome &out) {
+            Row row;
+            row.out = out;
             for (auto &side : sys.memSides()) {
-                dummy_pcm += side->stats().scalarValue(
+                row.dummyPcm += side->stats().scalarValue(
                     "dummyPcmAccesses");
             }
+            return row;
+        });
+
+    size_t at = 0;
+    for (const char *name : benchmarks) {
+        Tick base = rows[at++].out.result.execTicks;
+        for (DummyPolicy policy : policies) {
+            const Row &row = rows[at++];
+            const System::RunResult &r = row.out.result;
             const char *policy_name =
                 policy == DummyPolicy::Fixed
                     ? "fixed"
                     : policy == DummyPolicy::Original ? "original"
                                                       : "random";
+            double pct = overheadPct(r.execTicks, base);
             std::printf("%-10s %-9s %11.1f %12llu %14.0f %12.0f\n",
-                        name, policy_name,
-                        overheadPct(r.execTicks, base),
+                        name, policy_name, pct,
                         static_cast<unsigned long long>(r.cellWrites),
-                        r.pcmEnergyPj, dummy_pcm);
+                        r.pcmEnergyPj, row.dummyPcm);
+            jsonRow("ablation_dummy_policy",
+                    std::string("dummy_") + policy_name, name,
+                    r.execTicks, pct, row.out.wallMs);
         }
     }
 

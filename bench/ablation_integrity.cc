@@ -29,24 +29,53 @@ main()
                 "----------------------------------------------------"
                 "--------------");
 
+    struct Row
+    {
+        RunOutcome out;
+        double bmtFetches = 0;
+        double bmtWritebacks = 0;
+    };
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-        Tick enc =
-            run(ProtectionMode::EncryptionOnly, name).execTicks;
-
+        cfgs.push_back(makeConfig(ProtectionMode::Unprotected, name));
+        cfgs.push_back(
+            makeConfig(ProtectionMode::EncryptionOnly, name));
         SystemConfig cfg =
             makeConfig(ProtectionMode::EncryptionOnly, name);
         cfg.encryption.integrity = true;
-        System sys(cfg);
-        auto r = sys.run();
-        double fetches = sys.encryptionEngine()->stats().scalarValue(
-            "bmtFetches");
-        double wbs = sys.encryptionEngine()->stats().scalarValue(
-            "bmtWritebacks");
+        cfgs.push_back(cfg);
+    }
+    const auto rows =
+        sweep(cfgs, [](System &sys, const RunOutcome &out) {
+            Row row;
+            row.out = out;
+            if (sys.encryptionEngine()) {
+                row.bmtFetches =
+                    sys.encryptionEngine()->stats().scalarValue(
+                        "bmtFetches");
+                row.bmtWritebacks =
+                    sys.encryptionEngine()->stats().scalarValue(
+                        "bmtWritebacks");
+            }
+            return row;
+        });
+
+    int n = 0;
+    for (const char *name : benchmarks) {
+        const Row *row = &rows[3 * n];
+        Tick base = row[0].out.result.execTicks;
+        Tick enc = row[1].out.result.execTicks;
+        const Row &merkle = row[2];
+        double merkle_pct =
+            overheadPct(merkle.out.result.execTicks, base);
 
         std::printf("%-12s %12.1f %14.1f %12.0f %12.0f\n", name,
-                    overheadPct(enc, base),
-                    overheadPct(r.execTicks, base), fetches, wbs);
+                    overheadPct(enc, base), merkle_pct,
+                    merkle.bmtFetches, merkle.bmtWritebacks);
+        jsonRow("ablation_integrity", "enc_plus_merkle", name,
+                merkle.out.result.execTicks, merkle_pct,
+                merkle.out.wallMs);
+        ++n;
     }
 
     std::printf("\nThe Merkle tree's node fetches ride the same "

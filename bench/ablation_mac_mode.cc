@@ -28,26 +28,38 @@ main()
                 "----------------------------------------------------"
                 "--------");
 
-    double sum_and = 0, sum_then = 0;
-    int n = 0;
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-        Tick none = run(ProtectionMode::ObfusMem, name).execTicks;
-
+        cfgs.push_back(makeConfig(ProtectionMode::Unprotected, name));
+        cfgs.push_back(makeConfig(ProtectionMode::ObfusMem, name));
         SystemConfig and_cfg =
             makeConfig(ProtectionMode::ObfusMemAuth, name);
         and_cfg.obfusmem.mac.mode = MacMode::EncryptAndMac;
-        Tick and_mac = runConfig(and_cfg).execTicks;
-
+        cfgs.push_back(and_cfg);
         SystemConfig then_cfg =
             makeConfig(ProtectionMode::ObfusMemAuth, name);
         then_cfg.obfusmem.mac.mode = MacMode::EncryptThenMac;
-        Tick then_mac = runConfig(then_cfg).execTicks;
+        cfgs.push_back(then_cfg);
+    }
+    const auto outcomes = sweepOutcomes(cfgs);
+
+    double sum_and = 0, sum_then = 0;
+    int n = 0;
+    for (const char *name : benchmarks) {
+        const RunOutcome *row = &outcomes[4 * n];
+        Tick base = row[0].result.execTicks;
+        Tick none = row[1].result.execTicks;
+        Tick and_mac = row[2].result.execTicks;
+        Tick then_mac = row[3].result.execTicks;
 
         std::printf("%-12s %12.1f %16.1f %16.1f\n", name,
                     overheadPct(none, base),
                     overheadPct(and_mac, base),
                     overheadPct(then_mac, base));
+        jsonRow("ablation_mac_mode", "encrypt_and_mac", name, and_mac,
+                overheadPct(and_mac, base), row[2].wallMs);
+        jsonRow("ablation_mac_mode", "encrypt_then_mac", name,
+                then_mac, overheadPct(then_mac, base), row[3].wallMs);
         sum_and += overheadPct(and_mac, base);
         sum_then += overheadPct(then_mac, base);
         ++n;

@@ -30,36 +30,66 @@ main()
                 "----------------------------------------------------"
                 "----------------------");
 
+    struct Row
+    {
+        RunOutcome out;
+        uint64_t accesses = 0;
+        uint64_t blocksTransferred = 0;
+        size_t maxStash = 0;
+    };
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
         SystemConfig base_cfg =
             makeConfig(ProtectionMode::Unprotected, name);
         base_cfg.instrPerCore =
             std::min<uint64_t>(base_cfg.instrPerCore, 30000);
-        Tick base = runConfig(base_cfg).execTicks;
+        cfgs.push_back(base_cfg);
 
         SystemConfig fixed_cfg = base_cfg;
         fixed_cfg.mode = ProtectionMode::OramFixed;
-        Tick fixed = runConfig(fixed_cfg).execTicks;
+        cfgs.push_back(fixed_cfg);
 
         SystemConfig det_cfg = base_cfg;
         det_cfg.mode = ProtectionMode::OramDetailed;
         det_cfg.oramDetailed.oram.levels = 12;
         det_cfg.oramDetailed.oram.stashLimit = 4000;
-        System det_sys(det_cfg);
-        auto det = det_sys.run();
+        cfgs.push_back(det_cfg);
+    }
+    const auto rows =
+        sweep(cfgs, [](System &sys, const RunOutcome &out) {
+            Row row;
+            row.out = out;
+            if (sys.oramDetailed()) {
+                row.accesses = sys.oramDetailed()->oram().accesses();
+                row.blocksTransferred =
+                    sys.oramDetailed()->blocksTransferred();
+                row.maxStash =
+                    sys.oramDetailed()->oram().maxStashSize();
+            }
+            return row;
+        });
 
-        uint64_t accesses = det_sys.oramDetailed()->oram().accesses();
+    int n = 0;
+    for (const char *name : benchmarks) {
+        const Row *row = &rows[3 * n];
+        Tick base = row[0].out.result.execTicks;
+        Tick fixed = row[1].out.result.execTicks;
+        const Row &det = row[2];
+
         double blocks_per_access =
-            accesses ? static_cast<double>(
-                           det_sys.oramDetailed()->blocksTransferred())
-                           / accesses
-                     : 0.0;
+            det.accesses ? static_cast<double>(det.blocksTransferred)
+                               / det.accesses
+                         : 0.0;
 
         std::printf("%-12s %14.0f %16.0f %14.1f %14zu\n", name,
                     overheadPct(fixed, base),
-                    overheadPct(det.execTicks, base),
-                    blocks_per_access,
-                    det_sys.oramDetailed()->oram().maxStashSize());
+                    overheadPct(det.out.result.execTicks, base),
+                    blocks_per_access, det.maxStash);
+        jsonRow("ablation_oram_model", "oram_detailed", name,
+                det.out.result.execTicks,
+                overheadPct(det.out.result.execTicks, base),
+                det.out.wallMs);
+        ++n;
     }
 
     std::printf("\nThe detailed model (L=12 tree, ~52 blocks per "

@@ -31,34 +31,54 @@ main()
                 "----------------------------------------------------"
                 "------------------");
 
-    double sum_split = 0, sum_uniform = 0;
-    int n = 0;
+    struct Row
+    {
+        RunOutcome out;
+        double busBytesPerInstr = 0;
+    };
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-
-        auto measure = [&](bool uniform) {
+        cfgs.push_back(makeConfig(ProtectionMode::Unprotected, name));
+        for (bool uniform : {false, true}) {
             SystemConfig cfg =
                 makeConfig(ProtectionMode::ObfusMemAuth, name);
             cfg.obfusmem.uniformPackets = uniform;
             cfg.attachObserver = true;
-            System sys(cfg);
-            auto r = sys.run();
-            double bytes = 0;
-            if (sys.observer()) {
-                bytes = static_cast<double>(
-                            sys.observer()->bytesToMemory()
-                            + sys.observer()->bytesToProcessor())
-                        / r.instructions;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto rows =
+        sweep(cfgs, [](System &sys, const RunOutcome &out) {
+            Row row;
+            row.out = out;
+            if (sys.observer() && out.result.instructions) {
+                row.busBytesPerInstr =
+                    static_cast<double>(
+                        sys.observer()->bytesToMemory()
+                        + sys.observer()->bytesToProcessor())
+                    / out.result.instructions;
             }
-            return std::make_pair(overheadPct(r.execTicks, base),
-                                  bytes);
-        };
+            return row;
+        });
 
-        auto [split_pct, split_bytes] = measure(false);
-        auto [uniform_pct, uniform_bytes] = measure(true);
+    double sum_split = 0, sum_uniform = 0;
+    int n = 0;
+    for (const char *name : benchmarks) {
+        const Row *row = &rows[3 * n];
+        Tick base = row[0].out.result.execTicks;
+        double split_pct =
+            overheadPct(row[1].out.result.execTicks, base);
+        double uniform_pct =
+            overheadPct(row[2].out.result.execTicks, base);
         std::printf("%-12s %10.1f %12.1f | %14.3f %14.3f\n", name,
-                    split_pct, uniform_pct, split_bytes,
-                    uniform_bytes);
+                    split_pct, uniform_pct, row[1].busBytesPerInstr,
+                    row[2].busBytesPerInstr);
+        jsonRow("ablation_packet_scheme", "split", name,
+                row[1].out.result.execTicks, split_pct,
+                row[1].out.wallMs);
+        jsonRow("ablation_packet_scheme", "uniform", name,
+                row[2].out.result.execTicks, uniform_pct,
+                row[2].out.wallMs);
         sum_split += split_pct;
         sum_uniform += uniform_pct;
         ++n;

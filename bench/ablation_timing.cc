@@ -29,25 +29,41 @@ main()
                 "----------------------------------------------------"
                 "----------------------");
 
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-        Tick plain =
-            run(ProtectionMode::ObfusMemAuth, name).execTicks;
-
-        double oblivious[3];
-        int i = 0;
+        cfgs.push_back(makeConfig(ProtectionMode::Unprotected, name));
+        cfgs.push_back(makeConfig(ProtectionMode::ObfusMemAuth, name));
         for (Tick epoch : epochs_ns) {
             SystemConfig cfg =
                 makeConfig(ProtectionMode::ObfusMemAuth, name);
             cfg.obfusmem.timingOblivious = true;
             cfg.obfusmem.issueEpoch = epoch * tickPerNs;
-            oblivious[i++] =
-                overheadPct(runConfig(cfg).execTicks, base);
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto outcomes = sweepOutcomes(cfgs);
+
+    int n = 0;
+    for (const char *name : benchmarks) {
+        const RunOutcome *row = &outcomes[5 * n];
+        Tick base = row[0].result.execTicks;
+        Tick plain = row[1].result.execTicks;
+
+        double oblivious[3];
+        for (int i = 0; i < 3; ++i) {
+            oblivious[i] =
+                overheadPct(row[2 + i].result.execTicks, base);
+            jsonRow("ablation_timing",
+                    "oblivious_" + std::to_string(epochs_ns[i])
+                        + "ns",
+                    name, row[2 + i].result.execTicks, oblivious[i],
+                    row[2 + i].wallMs);
         }
 
         std::printf("%-12s %14.1f | %14.1f %14.1f %14.1f\n", name,
                     overheadPct(plain, base), oblivious[0],
                     oblivious[1], oblivious[2]);
+        ++n;
     }
 
     std::printf("\nTiming obliviousness trades throughput (slow "

@@ -29,36 +29,57 @@ main()
                 "----------------------------------------------------"
                 "------------------------");
 
+    struct Variant
+    {
+        const char *label;
+        ProtectionMode mode;
+        bool leveling;
+    };
+    const Variant variants[] = {
+        {"obfusmem", ProtectionMode::ObfusMemAuth, false},
+        {"obfusmem+SG", ProtectionMode::ObfusMemAuth, true},
+        {"plain+SG", ProtectionMode::Unprotected, true},
+    };
+
+    struct Row
+    {
+        RunOutcome out;
+        double gapMoves = 0;
+    };
+    std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-
-        struct Variant
-        {
-            const char *label;
-            ProtectionMode mode;
-            bool leveling;
-        };
-        const Variant variants[] = {
-            {"obfusmem", ProtectionMode::ObfusMemAuth, false},
-            {"obfusmem+SG", ProtectionMode::ObfusMemAuth, true},
-            {"plain+SG", ProtectionMode::Unprotected, true},
-        };
-
+        cfgs.push_back(makeConfig(ProtectionMode::Unprotected, name));
         for (const Variant &v : variants) {
             SystemConfig cfg = makeConfig(v.mode, name);
             cfg.pcm.wearLeveling = v.leveling;
             // Aggressive gap movement so the mechanism is visible in
             // a short run (production period would be ~100).
             cfg.pcm.gapMovePeriod = 8;
-            System sys(cfg);
-            auto r = sys.run();
-            double moves = 0;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto rows =
+        sweep(cfgs, [](System &sys, const RunOutcome &out) {
+            Row row;
+            row.out = out;
             for (auto &pcm : sys.pcmControllers())
-                moves += pcm->stats().scalarValue("gapMoves");
+                row.gapMoves += pcm->stats().scalarValue("gapMoves");
+            return row;
+        });
+
+    size_t at = 0;
+    for (const char *name : benchmarks) {
+        Tick base = rows[at++].out.result.execTicks;
+        for (const Variant &v : variants) {
+            const Row &row = rows[at++];
+            const System::RunResult &r = row.out.result;
+            double pct = overheadPct(r.execTicks, base);
             std::printf("%-12s %-14s %11.1f %12llu %10.0f %12.0f\n",
-                        name, v.label, overheadPct(r.execTicks, base),
+                        name, v.label, pct,
                         static_cast<unsigned long long>(r.cellWrites),
-                        moves, r.pcmEnergyPj);
+                        row.gapMoves, r.pcmEnergyPj);
+            jsonRow("ablation_wear_leveling", v.label, name,
+                    r.execTicks, pct, row.out.wallMs);
         }
     }
 

@@ -46,6 +46,24 @@ BM_AesEncryptBlock(benchmark::State &state)
 }
 BENCHMARK(BM_AesEncryptBlock);
 
+// The two implementations side by side: the fused T-table fast path
+// against the byte-oriented structural reference it is pinned to.
+void
+BM_AesEncryptBlockImpl(benchmark::State &state)
+{
+    Aes128 aes(key());
+    aes.setImpl(state.range(0) ? AesImpl::Ttable
+                               : AesImpl::Reference);
+    Block128 block{};
+    for (auto _ : state) {
+        block = aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+    state.SetLabel(state.range(0) ? "ttable" : "reference");
+}
+BENCHMARK(BM_AesEncryptBlockImpl)->Arg(0)->Arg(1);
+
 void
 BM_AesCtrPad(benchmark::State &state)
 {
@@ -58,6 +76,40 @@ BM_AesCtrPad(benchmark::State &state)
     state.SetBytesProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_AesCtrPad);
+
+// Pad generation one counter at a time vs the batched genPads call
+// that the wire protocol's request groups (6 pads) and replies (5
+// pads) use. Bytes/s is directly comparable between the two.
+void
+BM_AesCtrPadSingle6(benchmark::State &state)
+{
+    AesCtr ctr(key(), 7);
+    uint64_t counter = 0;
+    Block128 pads[6];
+    for (auto _ : state) {
+        for (int i = 0; i < 6; ++i)
+            pads[i] = ctr.pad(counter + i);
+        counter += 6;
+        benchmark::DoNotOptimize(pads);
+    }
+    state.SetBytesProcessed(state.iterations() * 6 * 16);
+}
+BENCHMARK(BM_AesCtrPadSingle6);
+
+void
+BM_AesCtrPadBatched6(benchmark::State &state)
+{
+    AesCtr ctr(key(), 7);
+    uint64_t counter = 0;
+    Block128 pads[6];
+    for (auto _ : state) {
+        ctr.genPads(counter, pads, 6);
+        counter += 6;
+        benchmark::DoNotOptimize(pads);
+    }
+    state.SetBytesProcessed(state.iterations() * 6 * 16);
+}
+BENCHMARK(BM_AesCtrPadBatched6);
 
 void
 BM_AesCtr64ByteBlock(benchmark::State &state)

@@ -28,21 +28,37 @@ main()
                 "----------------------------------------------------"
                 "--");
 
+    const std::vector<std::string> names = benchmarkNames();
+    const ProtectionMode modes[] = {
+        ProtectionMode::Unprotected, ProtectionMode::EncryptionOnly,
+        ProtectionMode::ObfusMem, ProtectionMode::ObfusMemAuth};
+    std::vector<SystemConfig> cfgs;
+    for (const std::string &name : names)
+        for (ProtectionMode mode : modes)
+            cfgs.push_back(makeConfig(mode, name));
+    const auto outcomes = sweepOutcomes(cfgs);
+
     double sum_enc = 0, sum_obfus = 0, sum_auth = 0;
     int n = 0;
-    for (const std::string &name : benchmarkNames()) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-        Tick enc =
-            run(ProtectionMode::EncryptionOnly, name).execTicks;
-        Tick obfus = run(ProtectionMode::ObfusMem, name).execTicks;
-        Tick auth =
-            run(ProtectionMode::ObfusMemAuth, name).execTicks;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const RunOutcome *row = &outcomes[4 * i];
+        Tick base = row[0].result.execTicks;
+        Tick enc = row[1].result.execTicks;
+        Tick obfus = row[2].result.execTicks;
+        Tick auth = row[3].result.execTicks;
 
         double enc_pct = overheadPct(enc, base);
         double obfus_pct = overheadPct(obfus, base);
         double auth_pct = overheadPct(auth, base);
         std::printf("%-12s %12.1f %12.1f %14.1f\n", name.c_str(),
                     enc_pct, obfus_pct, auth_pct);
+        jsonRow("fig4_overhead_breakdown", "encryption_only", name,
+                enc, enc_pct, row[1].wallMs);
+        jsonRow("fig4_overhead_breakdown", "obfusmem", name, obfus,
+                obfus_pct, row[2].wallMs);
+        jsonRow("fig4_overhead_breakdown", "obfusmem_auth", name,
+                auth, auth_pct, row[3].wallMs);
         sum_enc += enc_pct;
         sum_obfus += obfus_pct;
         sum_auth += auth_pct;

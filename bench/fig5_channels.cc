@@ -32,15 +32,15 @@ main()
                 "----------------------------------------------------"
                 "--------------");
 
+    // Five configs per (channel count, benchmark) point: the
+    // unprotected baseline plus the four mode/scheme combinations.
+    // The whole grid goes through the sweep runner as one batch.
+    const std::vector<std::string> names = benchmarkNames();
+    std::vector<SystemConfig> cfgs;
     for (unsigned channels : channel_counts) {
-        double sums[4] = {0, 0, 0, 0};
-        int n = 0;
-        for (const std::string &name : benchmarkNames()) {
-            Tick base =
-                run(ProtectionMode::Unprotected, name, channels)
-                    .execTicks;
-
-            int idx = 0;
+        for (const std::string &name : names) {
+            cfgs.push_back(makeConfig(ProtectionMode::Unprotected,
+                                      name, channels));
             for (ProtectionMode mode :
                  {ProtectionMode::ObfusMem,
                   ProtectionMode::ObfusMemAuth}) {
@@ -49,10 +49,31 @@ main()
                     SystemConfig cfg = makeConfig(mode, name,
                                                   channels);
                     cfg.obfusmem.channelScheme = scheme;
-                    sums[idx] += overheadPct(runConfig(cfg).execTicks,
-                                             base);
-                    ++idx;
+                    cfgs.push_back(cfg);
                 }
+            }
+        }
+    }
+    const auto outcomes = sweepOutcomes(cfgs);
+
+    static const char *const variant_names[4] = {
+        "obfusmem_unopt", "obfusmem_opt", "obfusmem_auth_unopt",
+        "obfusmem_auth_opt"};
+    size_t at = 0;
+    for (unsigned channels : channel_counts) {
+        double sums[4] = {0, 0, 0, 0};
+        int n = 0;
+        for (const std::string &name : names) {
+            Tick base = outcomes[at++].result.execTicks;
+            for (int idx = 0; idx < 4; ++idx) {
+                const RunOutcome &out = outcomes[at++];
+                double pct =
+                    overheadPct(out.result.execTicks, base);
+                sums[idx] += pct;
+                jsonRow("fig5_channels",
+                        std::string(variant_names[idx]) + "_ch"
+                            + std::to_string(channels),
+                        name, out.result.execTicks, pct, out.wallMs);
             }
             ++n;
         }

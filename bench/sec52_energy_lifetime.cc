@@ -58,17 +58,39 @@ main()
 
     // --- Measured: write traffic and lifetime ------------------------
     std::printf("Measured on the milc workload:\n");
-    System base(makeConfig(ProtectionMode::Unprotected, "milc"));
-    auto base_result = base.run();
-
-    System obfus(makeConfig(ProtectionMode::ObfusMemAuth, "milc"));
-    auto obfus_result = obfus.run();
-
-    System oram_sys(makeConfig(ProtectionMode::OramFixed, "milc"));
-    auto oram_result = oram_sys.run();
-    uint64_t oram_block_writes = oram_sys.oramFixed()->blocksWritten();
-    uint64_t oram_accesses = oram_sys.oramFixed()->accessCount();
-    (void)oram_result;
+    struct MeasuredRow
+    {
+        System::RunResult result;
+        uint64_t oramBlocksWritten = 0;
+        uint64_t oramAccesses = 0;
+    };
+    const std::vector<SystemConfig> cfgs = {
+        makeConfig(ProtectionMode::Unprotected, "milc"),
+        makeConfig(ProtectionMode::ObfusMemAuth, "milc"),
+        makeConfig(ProtectionMode::OramFixed, "milc"),
+    };
+    const auto rows =
+        sweep(cfgs, [](System &sys, const RunOutcome &out) {
+            MeasuredRow row;
+            row.result = out.result;
+            if (sys.oramFixed()) {
+                row.oramBlocksWritten =
+                    sys.oramFixed()->blocksWritten();
+                row.oramAccesses = sys.oramFixed()->accessCount();
+            }
+            return row;
+        });
+    const System::RunResult &base_result = rows[0].result;
+    const System::RunResult &obfus_result = rows[1].result;
+    uint64_t oram_block_writes = rows[2].oramBlocksWritten;
+    uint64_t oram_accesses = rows[2].oramAccesses;
+    jsonRow("sec52_energy_lifetime", "unprotected", "milc",
+            base_result.execTicks, 0.0, 0.0);
+    jsonRow("sec52_energy_lifetime", "obfusmem_auth", "milc",
+            obfus_result.execTicks,
+            overheadPct(obfus_result.execTicks,
+                        base_result.execTicks),
+            0.0);
 
     std::printf("  unprotected PCM cell writes        : %8llu\n",
                 static_cast<unsigned long long>(

@@ -25,14 +25,23 @@ main()
                 "----------------------------------------------------"
                 "------------------------");
 
-    for (const auto &profile : BenchmarkProfile::spec2006()) {
-        System::RunResult r =
-            run(ProtectionMode::Unprotected, profile.name);
+    const auto profiles = BenchmarkProfile::spec2006();
+    std::vector<SystemConfig> cfgs;
+    for (const auto &profile : profiles)
+        cfgs.push_back(
+            makeConfig(ProtectionMode::Unprotected, profile.name));
+    const auto outcomes = sweepOutcomes(cfgs);
+
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        const auto &profile = profiles[i];
+        const System::RunResult &r = outcomes[i].result;
         std::printf("%-12s %8.2f %8.2f | %8.2f %8.2f | %10.1f "
                     "%10.1f\n",
                     profile.name.c_str(), r.ipc, profile.paperIpc,
                     r.mpki, profile.paperMpki, r.avgGapNs,
                     profile.paperGapNs);
+        jsonRow("table1_characteristics", "unprotected", profile.name,
+                r.execTicks, 0.0, outcomes[i].wallMs);
     }
 
     std::printf("\nNotes: IPC and MPKI are calibration targets; the "

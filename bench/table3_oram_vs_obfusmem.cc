@@ -55,12 +55,25 @@ main()
     double paper_oram = 0, paper_obfus = 0, paper_speedup = 0;
     int n = 0;
 
+    // Three configs per benchmark, batched through the sweep runner.
+    std::vector<SystemConfig> cfgs;
     for (const PaperRow &row : paperRows) {
-        Tick base =
-            run(ProtectionMode::Unprotected, row.name).execTicks;
-        Tick oram = run(ProtectionMode::OramFixed, row.name).execTicks;
-        Tick obfus =
-            run(ProtectionMode::ObfusMemAuth, row.name).execTicks;
+        cfgs.push_back(
+            makeConfig(ProtectionMode::Unprotected, row.name));
+        cfgs.push_back(makeConfig(ProtectionMode::OramFixed, row.name));
+        cfgs.push_back(
+            makeConfig(ProtectionMode::ObfusMemAuth, row.name));
+    }
+    const auto outcomes = sweepOutcomes(cfgs);
+
+    size_t idx = 0;
+    for (const PaperRow &row : paperRows) {
+        const RunOutcome &base_out = outcomes[idx++];
+        const RunOutcome &oram_out = outcomes[idx++];
+        const RunOutcome &obfus_out = outcomes[idx++];
+        Tick base = base_out.result.execTicks;
+        Tick oram = oram_out.result.execTicks;
+        Tick obfus = obfus_out.result.execTicks;
 
         double oram_pct = overheadPct(oram, base);
         double obfus_pct = overheadPct(obfus, base);
@@ -70,6 +83,10 @@ main()
                     "%7.1fx\n",
                     row.name, oram_pct, row.oram, obfus_pct, row.obfus,
                     speedup, row.speedup);
+        jsonRow("table3_oram_vs_obfusmem", "oram_fixed", row.name,
+                oram, oram_pct, oram_out.wallMs);
+        jsonRow("table3_oram_vs_obfusmem", "obfusmem_auth", row.name,
+                obfus, obfus_pct, obfus_out.wallMs);
 
         sum_oram += oram_pct;
         sum_obfus += obfus_pct;

@@ -23,14 +23,32 @@ main()
     // --- Execution-time overhead (subset average for speed) --------
     const char *probe_benchmarks[] = {"bwaves", "mcf", "milc",
                                       "soplex", "sjeng", "hmmer"};
+    std::vector<SystemConfig> probe_cfgs;
+    for (const char *name : probe_benchmarks) {
+        probe_cfgs.push_back(
+            makeConfig(ProtectionMode::Unprotected, name));
+        probe_cfgs.push_back(
+            makeConfig(ProtectionMode::OramFixed, name));
+        probe_cfgs.push_back(
+            makeConfig(ProtectionMode::ObfusMemAuth, name));
+    }
+    const auto probe_outcomes = sweepOutcomes(probe_cfgs);
+
     double oram_sum = 0, obfus_sum = 0;
     int n = 0;
     for (const char *name : probe_benchmarks) {
-        Tick base = run(ProtectionMode::Unprotected, name).execTicks;
-        oram_sum += overheadPct(
-            run(ProtectionMode::OramFixed, name).execTicks, base);
-        obfus_sum += overheadPct(
-            run(ProtectionMode::ObfusMemAuth, name).execTicks, base);
+        const RunOutcome *row = &probe_outcomes[3 * n];
+        Tick base = row[0].result.execTicks;
+        double oram_pct =
+            overheadPct(row[1].result.execTicks, base);
+        double obfus_pct =
+            overheadPct(row[2].result.execTicks, base);
+        oram_sum += oram_pct;
+        obfus_sum += obfus_pct;
+        jsonRow("table4_comparison", "oram_fixed", name,
+                row[1].result.execTicks, oram_pct, row[1].wallMs);
+        jsonRow("table4_comparison", "obfusmem_auth", name,
+                row[2].result.execTicks, obfus_pct, row[2].wallMs);
         ++n;
     }
 
@@ -49,18 +67,35 @@ main()
                            / cfg.capacityBytes;
 
     // --- Write amplification ----------------------------------------
-    SystemConfig oram_cfg = makeConfig(ProtectionMode::OramFixed,
-                                       "milc");
-    System oram_sys(oram_cfg);
-    oram_sys.run();
+    // The ORAM counters live on the System, so they are pulled by the
+    // sweep extractor while the worker still owns it.
+    struct AmpRow
+    {
+        System::RunResult result;
+        uint64_t oramBlocksWritten = 0;
+        uint64_t oramAccesses = 0;
+    };
+    const std::vector<SystemConfig> amp_cfgs = {
+        makeConfig(ProtectionMode::OramFixed, "milc"),
+        makeConfig(ProtectionMode::ObfusMemAuth, "milc"),
+        makeConfig(ProtectionMode::Unprotected, "milc"),
+    };
+    const auto amp_rows =
+        sweep(amp_cfgs, [](System &sys, const RunOutcome &out) {
+            AmpRow row;
+            row.result = out.result;
+            if (sys.oramFixed()) {
+                row.oramBlocksWritten =
+                    sys.oramFixed()->blocksWritten();
+                row.oramAccesses = sys.oramFixed()->accessCount();
+            }
+            return row;
+        });
     double oram_amp =
-        static_cast<double>(oram_sys.oramFixed()->blocksWritten())
-        / oram_sys.oramFixed()->accessCount();
-
-    System obfus_sys(makeConfig(ProtectionMode::ObfusMemAuth, "milc"));
-    auto obfus_result = obfus_sys.run();
-    System base_sys(makeConfig(ProtectionMode::Unprotected, "milc"));
-    auto base_result = base_sys.run();
+        static_cast<double>(amp_rows[0].oramBlocksWritten)
+        / amp_rows[0].oramAccesses;
+    const System::RunResult &obfus_result = amp_rows[1].result;
+    const System::RunResult &base_result = amp_rows[2].result;
     double obfus_amp =
         base_result.cellWrites > 0
             ? static_cast<double>(obfus_result.cellWrites)

@@ -1,10 +1,16 @@
 /**
  * @file
- * AES-128 implementation following FIPS-197 directly (byte-oriented,
- * no lookup-table tricks beyond the S-box).
+ * AES-128: byte-oriented FIPS-197 reference path plus the T-table
+ * fast path. Every table (S-box, inverse S-box, the four fused
+ * encryption tables) is generated at compile time, so there is no
+ * lazily initialized mutable state anywhere in this translation unit
+ * and instances are safe to use from concurrent sweep-runner jobs.
  */
 
 #include "crypto/aes128.hh"
+
+#include <cstdlib>
+#include <string_view>
 
 #include "util/logging.hh"
 
@@ -13,7 +19,7 @@ namespace crypto {
 
 namespace {
 
-const uint8_t sbox[256] = {
+constexpr std::array<uint8_t, 256> sbox = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
     0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
     0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
@@ -48,24 +54,55 @@ const uint8_t sbox[256] = {
     0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 };
 
-uint8_t invSbox[256];
-bool invSboxInit = false;
-
-void
-initInvSbox()
+constexpr std::array<uint8_t, 256>
+makeInvSbox()
 {
-    if (invSboxInit)
-        return;
+    std::array<uint8_t, 256> inv{};
     for (int i = 0; i < 256; ++i)
-        invSbox[sbox[i]] = static_cast<uint8_t>(i);
-    invSboxInit = true;
+        inv[sbox[i]] = static_cast<uint8_t>(i);
+    return inv;
 }
 
-uint8_t
+constexpr std::array<uint8_t, 256> invSbox = makeInvSbox();
+
+constexpr uint8_t
 xtime(uint8_t x)
 {
     return static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
 }
+
+constexpr uint32_t
+rotl32(uint32_t v, int n)
+{
+    return (v << n) | (v >> (32 - n));
+}
+
+/**
+ * The four fused encryption tables. State columns are little-endian
+ * 32-bit words (byte 0 = row 0), so enc[r][x] is the MixColumns
+ * contribution of S-box output sbox[x] landing on row r after
+ * ShiftRows: enc[0][x] packs {2s, s, s, 3s} and each subsequent table
+ * is the previous one rotated up a byte.
+ */
+constexpr std::array<std::array<uint32_t, 256>, 4>
+makeEncTables()
+{
+    std::array<std::array<uint32_t, 256>, 4> enc{};
+    for (int i = 0; i < 256; ++i) {
+        uint32_t s = sbox[i];
+        uint32_t s2 = xtime(sbox[i]);
+        uint32_t s3 = s2 ^ s;
+        uint32_t w = s2 | (s << 8) | (s << 16) | (s3 << 24);
+        for (int r = 0; r < 4; ++r) {
+            enc[r][i] = w;
+            w = rotl32(w, 8);
+        }
+    }
+    return enc;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 4> encTables =
+    makeEncTables();
 
 /** GF(2^8) multiplication. */
 uint8_t
@@ -163,11 +200,21 @@ addRoundKey(uint8_t *s, const uint8_t *rk)
 
 } // namespace
 
+AesImpl
+Aes128::defaultImpl()
+{
+    static const AesImpl choice = [] {
+        const char *env = std::getenv("OBFUSMEM_AES_IMPL");
+        if (env && std::string_view(env) == "reference")
+            return AesImpl::Reference;
+        return AesImpl::Ttable;
+    }();
+    return choice;
+}
+
 void
 Aes128::setKey(const Key &key)
 {
-    initInvSbox();
-
     // FIPS-197 key expansion for Nk=4, Nr=10.
     uint8_t w[176];
     for (int i = 0; i < 16; ++i)
@@ -192,14 +239,15 @@ Aes128::setKey(const Key &key)
     for (int r = 0; r < 11; ++r) {
         for (int b = 0; b < 16; ++b)
             roundKeys[r][b] = w[16 * r + b];
+        for (int c = 0; c < 4; ++c)
+            roundKeyWords[r][c] = loadLe32(&roundKeys[r][4 * c]);
     }
     keyed = true;
 }
 
 Block128
-Aes128::encryptBlock(const Block128 &plaintext) const
+Aes128::encryptReference(const Block128 &plaintext) const
 {
-    panic_if(!keyed, "Aes128 used before setKey");
     Block128 state = plaintext;
     uint8_t *s = state.data();
 
@@ -214,6 +262,77 @@ Aes128::encryptBlock(const Block128 &plaintext) const
     shiftRows(s);
     addRoundKey(s, roundKeys[10].data());
     return state;
+}
+
+Block128
+Aes128::encryptTtable(const Block128 &plaintext) const
+{
+    const auto &T0 = encTables[0];
+    const auto &T1 = encTables[1];
+    const auto &T2 = encTables[2];
+    const auto &T3 = encTables[3];
+
+    uint32_t w0 = loadLe32(plaintext.data()) ^ roundKeyWords[0][0];
+    uint32_t w1 = loadLe32(plaintext.data() + 4) ^ roundKeyWords[0][1];
+    uint32_t w2 = loadLe32(plaintext.data() + 8) ^ roundKeyWords[0][2];
+    uint32_t w3 = loadLe32(plaintext.data() + 12) ^ roundKeyWords[0][3];
+
+    for (int round = 1; round < 10; ++round) {
+        const auto &rk = roundKeyWords[round];
+        uint32_t n0 = T0[w0 & 0xff] ^ T1[(w1 >> 8) & 0xff]
+                      ^ T2[(w2 >> 16) & 0xff] ^ T3[w3 >> 24] ^ rk[0];
+        uint32_t n1 = T0[w1 & 0xff] ^ T1[(w2 >> 8) & 0xff]
+                      ^ T2[(w3 >> 16) & 0xff] ^ T3[w0 >> 24] ^ rk[1];
+        uint32_t n2 = T0[w2 & 0xff] ^ T1[(w3 >> 8) & 0xff]
+                      ^ T2[(w0 >> 16) & 0xff] ^ T3[w1 >> 24] ^ rk[2];
+        uint32_t n3 = T0[w3 & 0xff] ^ T1[(w0 >> 8) & 0xff]
+                      ^ T2[(w1 >> 16) & 0xff] ^ T3[w2 >> 24] ^ rk[3];
+        w0 = n0;
+        w1 = n1;
+        w2 = n2;
+        w3 = n3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    const auto &rk = roundKeyWords[10];
+    auto last = [](uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+        return static_cast<uint32_t>(sbox[a & 0xff])
+               | (static_cast<uint32_t>(sbox[(b >> 8) & 0xff]) << 8)
+               | (static_cast<uint32_t>(sbox[(c >> 16) & 0xff]) << 16)
+               | (static_cast<uint32_t>(sbox[d >> 24]) << 24);
+    };
+    uint32_t f0 = last(w0, w1, w2, w3) ^ rk[0];
+    uint32_t f1 = last(w1, w2, w3, w0) ^ rk[1];
+    uint32_t f2 = last(w2, w3, w0, w1) ^ rk[2];
+    uint32_t f3 = last(w3, w0, w1, w2) ^ rk[3];
+
+    Block128 out;
+    storeLe32(out.data(), f0);
+    storeLe32(out.data() + 4, f1);
+    storeLe32(out.data() + 8, f2);
+    storeLe32(out.data() + 12, f3);
+    return out;
+}
+
+Block128
+Aes128::encryptBlock(const Block128 &plaintext) const
+{
+    panic_if(!keyed, "Aes128 used before setKey");
+    return implChoice == AesImpl::Ttable ? encryptTtable(plaintext)
+                                         : encryptReference(plaintext);
+}
+
+void
+Aes128::encryptBlocks(const Block128 *in, Block128 *out, size_t n) const
+{
+    panic_if(!keyed, "Aes128 used before setKey");
+    if (implChoice == AesImpl::Ttable) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = encryptTtable(in[i]);
+    } else {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = encryptReference(in[i]);
+    }
 }
 
 Block128

@@ -7,12 +7,25 @@
  * numbers for the engine (24-cycle latency at 4 ns cycle time, one
  * 128-bit pad per cycle throughput, 15.1 mW, 0.204 mm^2) are captured as
  * constants here and consumed by the timing model.
+ *
+ * Two encryption implementations are provided:
+ *  - Ttable: the hot path. The 32-bit T-table formulation fuses
+ *    SubBytes, ShiftRows and MixColumns into four table lookups and
+ *    three XORs per column per round. The tables are generated at
+ *    compile time from the S-box, so no runtime initialization (and no
+ *    initialization races) exist.
+ *  - Reference: the byte-oriented FIPS-197 transcription, kept as the
+ *    cross-checked oracle. Tests pin the Ttable output to it.
+ *
+ * The simulated *hardware* is unchanged either way: implementation
+ * choice only affects host throughput, never simulated timing.
  */
 
 #ifndef OBFUSMEM_CRYPTO_AES128_HH
 #define OBFUSMEM_CRYPTO_AES128_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "crypto/bytes.hh"
@@ -35,9 +48,18 @@ struct AesEngineParams
     static constexpr double areaMm2 = 0.204;
 };
 
+/** Host-side encryption implementation (identical ciphertexts). */
+enum class AesImpl
+{
+    /** Fused 32-bit T-table path (fast, the default). */
+    Ttable,
+    /** Byte-oriented FIPS-197 path (the cross-check oracle). */
+    Reference,
+};
+
 /**
  * AES-128 with a fixed key set at construction (or via setKey).
- * Provides single-block encrypt and decrypt.
+ * Provides single-block and batched encrypt, and single-block decrypt.
  */
 class Aes128
 {
@@ -53,12 +75,37 @@ class Aes128
     /** Encrypt one 16-byte block. */
     Block128 encryptBlock(const Block128 &plaintext) const;
 
+    /**
+     * Encrypt `n` blocks in one call. The hot path for pad batches:
+     * the implementation dispatch and round-key loads are paid once
+     * per batch instead of once per block. `in` and `out` may alias.
+     */
+    void encryptBlocks(const Block128 *in, Block128 *out,
+                       size_t n) const;
+
     /** Decrypt one 16-byte block (inverse cipher). */
     Block128 decryptBlock(const Block128 &ciphertext) const;
 
+    /** Select the encryption implementation for this instance. */
+    void setImpl(AesImpl impl) { implChoice = impl; }
+    AesImpl impl() const { return implChoice; }
+
+    /**
+     * Process-wide default implementation: Ttable, unless the
+     * OBFUSMEM_AES_IMPL environment variable is set to "reference"
+     * (read once, so the choice is stable across threads).
+     */
+    static AesImpl defaultImpl();
+
   private:
+    Block128 encryptTtable(const Block128 &plaintext) const;
+    Block128 encryptReference(const Block128 &plaintext) const;
+
     /** Expanded round keys: 11 round keys of 16 bytes. */
     std::array<std::array<uint8_t, 16>, 11> roundKeys{};
+    /** The same schedule as little-endian column words (T-table path). */
+    std::array<std::array<uint32_t, 4>, 11> roundKeyWords{};
+    AesImpl implChoice = defaultImpl();
     bool keyed = false;
 };
 

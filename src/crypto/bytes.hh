@@ -126,6 +126,24 @@ fromHex(const std::string &hex)
     return out;
 }
 
+/** Store a 32-bit value little-endian. */
+inline void
+storeLe32(uint8_t *dst, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+/** Load a 32-bit little-endian value. */
+inline uint32_t
+loadLe32(const uint8_t *src)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | src[i];
+    return v;
+}
+
 /** Store a 64-bit value little-endian. */
 inline void
 storeLe64(uint8_t *dst, uint64_t v)

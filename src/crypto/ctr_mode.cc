@@ -29,17 +29,35 @@ AesCtr::pad(uint64_t counter) const
     return aes.encryptBlock(iv);
 }
 
+void
+AesCtr::genPads(uint64_t counter, Block128 *out, size_t n) const
+{
+    // Build all IVs in the output buffer, then encrypt in place with
+    // one batched call (encryptBlocks allows aliasing).
+    for (size_t i = 0; i < n; ++i) {
+        storeLe64(out[i].data(), nonce);
+        storeLe64(out[i].data() + 8, counter + i);
+    }
+    aes.encryptBlocks(out, out, n);
+}
+
 uint64_t
 AesCtr::applyKeystream(uint8_t *buf, size_t len, uint64_t counter) const
 {
+    constexpr size_t batch = 8;
     uint64_t used = 0;
     size_t off = 0;
     while (off < len) {
-        Block128 p = pad(counter + used);
-        ++used;
-        size_t n = std::min<size_t>(16, len - off);
-        xorInto(buf + off, p.data(), n);
-        off += n;
+        Block128 pads[batch];
+        size_t blocks =
+            std::min<size_t>(batch, (len - off + 15) / 16);
+        genPads(counter + used, pads, blocks);
+        for (size_t b = 0; b < blocks; ++b) {
+            size_t n = std::min<size_t>(16, len - off);
+            xorInto(buf + off, pads[b].data(), n);
+            off += n;
+            ++used;
+        }
     }
     return used;
 }

@@ -42,6 +42,15 @@ class AesCtr
     Block128 pad(uint64_t counter) const;
 
     /**
+     * Generate the `n` consecutive pads [counter, counter + n) in one
+     * batched call. This is the hot path for ObfusMem's request
+     * groups: all six pads of a group (and all five of a reply) come
+     * out of a single call, amortizing the per-call AES dispatch.
+     * Identical output to calling pad() n times.
+     */
+    void genPads(uint64_t counter, Block128 *out, size_t n) const;
+
+    /**
      * XOR consecutive pads [counter, counter + ceil(len/16)) over the
      * buffer. Used for both encryption and decryption.
      *

@@ -20,6 +20,15 @@ MacEngine::compute(const WireHeader &hdr, uint64_t counter) const
     return crypto::Md5::digest(buf, sizeof(buf));
 }
 
+void
+MacEngine::computeBatch(const WireHeader *hdrs,
+                        const uint64_t *counters,
+                        crypto::Md5Digest *out, size_t n) const
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = compute(hdrs[i], counters[i]);
+}
+
 bool
 MacEngine::verify(const WireHeader &hdr, uint64_t counter,
                   const crypto::Md5Digest &mac) const

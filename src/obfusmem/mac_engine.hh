@@ -65,6 +65,15 @@ class MacEngine
     crypto::Md5Digest compute(const WireHeader &hdr,
                               uint64_t counter) const;
 
+    /**
+     * Compute the MACs of a batch of messages in one call — both
+     * messages of a request group are MACed together, mirroring the
+     * batched pad generation (the hardware analogue: one pass through
+     * the pipelined MD5 engine per group, not per message).
+     */
+    void computeBatch(const WireHeader *hdrs, const uint64_t *counters,
+                      crypto::Md5Digest *out, size_t n) const;
+
     /** Verify a received MAC against local plaintext + counter. */
     bool verify(const WireHeader &hdr, uint64_t counter,
                 const crypto::Md5Digest &mac) const;

@@ -70,11 +70,20 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
                         CounterStream::Request, hdr_ctr, count);
     }
 
+    // Batch-generate the whole group's pads when its first message
+    // arrives; the second message reuses the cache. A counter skew
+    // (skewRequestCounter) invalidates the cache so desync behaves
+    // exactly as pad-by-pad generation would.
+    if (groupPhase == 0 || !groupPadsValid) {
+        rxCipher.genPads(reqCounter, groupPads.data(),
+                         groupPads.size());
+        groupPadsValid = true;
+    }
+
     std::optional<WireHeader> hdr =
-        decryptHeader(rxCipher, hdr_ctr, msg.cipherHeader);
+        decryptHeaderWithPad(groupPads[groupPhase], msg.cipherHeader);
 
     // Advance the group phase regardless: the pads are consumed.
-    uint64_t data_ctr = reqCounter + 2;
     if (params.uniformPackets) {
         groupPhase = 0;
         reqCounter += countersPerRequestGroup;
@@ -113,7 +122,10 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
 
     DataBlock plain_data{};
     if (msg.hasData) {
-        plain_data = cryptPayload(rxCipher, data_ctr, msg.cipherData);
+        // Payload pads 2..5 of the (possibly just-completed) group the
+        // cache still holds.
+        plain_data = cryptPayloadWithPads(&groupPads[2],
+                                          msg.cipherData);
         padsUsed += 4;
     }
 
@@ -226,10 +238,11 @@ ObfusMemMemSide::sendReadReply(const WireHeader &req_hdr,
     hdr.tag = req_hdr.tag;
     hdr.dummy = req_hdr.dummy;
 
+    const ReplyPads pads = genReplyPads(txCipher, ctr);
     WireMessage msg;
-    msg.cipherHeader = encryptHeader(txCipher, ctr, hdr);
+    msg.cipherHeader = encryptHeaderWithPad(pads.header(), hdr);
     msg.hasData = true;
-    msg.cipherData = cryptPayload(txCipher, ctr + 1, data);
+    msg.cipherData = cryptPayloadWithPads(pads.payload(), data);
     padsUsed += 5;
     if (params.auth) {
         msg.hasMac = true;

@@ -238,6 +238,9 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
                    countersPerRequestGroup - 1);
     }
 
+    // One batched AES call produces every pad the group will consume.
+    const GroupPads pads = genGroupPads(cs.tx, ctr);
+
     if (params.uniformPackets) {
         // One fixed-size message per request; every request expects a
         // fixed-size reply.
@@ -255,9 +258,9 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         }
 
         WireMessage msg;
-        msg.cipherHeader = encryptHeader(cs.tx, ctr, hdr);
+        msg.cipherHeader = encryptHeaderWithPad(pads.pad[0], hdr);
         msg.hasData = true;
-        msg.cipherData = cryptPayload(cs.tx, ctr + 2, payload);
+        msg.cipherData = cryptPayloadWithPads(&pads.pad[2], payload);
         if (params.auth) {
             msg.hasMac = true;
             msg.mac = mac.compute(hdr, ctr);
@@ -303,7 +306,7 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         ++cs.outstandingReads;
 
         WireMessage msg1;
-        msg1.cipherHeader = encryptHeader(cs.tx, ctr, hdr);
+        msg1.cipherHeader = encryptHeaderWithPad(pads.pad[0], hdr);
         if (params.auth) {
             msg1.hasMac = true;
             msg1.mac = mac.compute(hdr, ctr);
@@ -324,10 +327,11 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             whdr.cmd = MemCmd::Write;
             whdr.addr = qw.pkt.addr;
             WireMessage msg2;
-            msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, whdr);
+            msg2.cipherHeader =
+                encryptHeaderWithPad(pads.pad[1], whdr);
             msg2.hasData = true;
             msg2.cipherData =
-                cryptPayload(cs.tx, ctr + 2, qw.pkt.data);
+                cryptPayloadWithPads(&pads.pad[2], qw.pkt.data);
             if (params.auth) {
                 msg2.hasMac = true;
                 msg2.mac = mac.compute(whdr, ctr + 1);
@@ -352,11 +356,12 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         dummy_hdr.addr = dummyAddrFor(channel, hdr.addr);
         dummy_hdr.dummy = true;
         WireMessage msg2;
-        msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, dummy_hdr);
+        msg2.cipherHeader =
+            encryptHeaderWithPad(pads.pad[1], dummy_hdr);
         msg2.hasData = true;
         DataBlock junk;
         junkRng.fillBytes(junk.data(), junk.size());
-        msg2.cipherData = cryptPayload(cs.tx, ctr + 2, junk);
+        msg2.cipherData = cryptPayloadWithPads(&pads.pad[2], junk);
         if (params.auth) {
             msg2.hasMac = true;
             msg2.mac = mac.compute(dummy_hdr, ctr + 1);
@@ -366,7 +371,8 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
     }
 
     // Real write: preceded by a dummy read (reads are latency
-    // critical, writes are not - paper Sec. 3.3).
+    // critical, writes are not - paper Sec. 3.3). Both headers are
+    // known up front, so the two MACs are computed in one batch.
     ++realWrites;
     ++pairedDummies;
     WireHeader dummy_hdr;
@@ -377,26 +383,34 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
     cs.pending[dummy_hdr.tag] = {MemPacket{}, nullptr, true};
     ++cs.outstandingReads;
 
-    WireMessage msg1;
-    msg1.cipherHeader = encryptHeader(cs.tx, ctr, dummy_hdr);
-    if (params.auth) {
-        msg1.hasMac = true;
-        msg1.mac = mac.compute(dummy_hdr, ctr);
-    }
-    transmit(channel, std::move(msg1));
-
     WireHeader hdr;
     hdr.cmd = MemCmd::Write;
     hdr.addr = pkt.addr;
+
+    crypto::Md5Digest macs[2];
+    if (params.auth) {
+        const WireHeader hdrs[2] = {dummy_hdr, hdr};
+        const uint64_t ctrs[2] = {ctr, ctr + 1};
+        mac.computeBatch(hdrs, ctrs, macs, 2);
+    }
+
+    WireMessage msg1;
+    msg1.cipherHeader = encryptHeaderWithPad(pads.pad[0], dummy_hdr);
+    if (params.auth) {
+        msg1.hasMac = true;
+        msg1.mac = macs[0];
+    }
+    transmit(channel, std::move(msg1));
+
     WireMessage msg2;
-    msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, hdr);
+    msg2.cipherHeader = encryptHeaderWithPad(pads.pad[1], hdr);
     msg2.hasData = true;
     // Second encryption on top of the memory-encryption ciphertext:
     // hides temporal reuse of unmodified data (Observation 1).
-    msg2.cipherData = cryptPayload(cs.tx, ctr + 2, pkt.data);
+    msg2.cipherData = cryptPayloadWithPads(&pads.pad[2], pkt.data);
     if (params.auth) {
         msg2.hasMac = true;
-        msg2.mac = mac.compute(hdr, ctr + 1);
+        msg2.mac = macs[1];
     }
 
     // The write is posted: complete it to the requester when the
@@ -435,6 +449,8 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
                    countersPerRequestGroup - 1);
     }
 
+    const GroupPads pads = genGroupPads(cs.tx, ctr);
+
     if (params.uniformPackets) {
         // One uniform dummy read message fills the channel.
         WireHeader rd;
@@ -446,11 +462,11 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
         ++cs.outstandingReads;
 
         WireMessage msg;
-        msg.cipherHeader = encryptHeader(cs.tx, ctr, rd);
+        msg.cipherHeader = encryptHeaderWithPad(pads.pad[0], rd);
         msg.hasData = true;
         DataBlock junk;
         junkRng.fillBytes(junk.data(), junk.size());
-        msg.cipherData = cryptPayload(cs.tx, ctr + 2, junk);
+        msg.cipherData = cryptPayloadWithPads(&pads.pad[2], junk);
         if (params.auth) {
             msg.hasMac = true;
             msg.mac = mac.compute(rd, ctr);
@@ -467,27 +483,35 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
     cs.pending[rd.tag] = {MemPacket{}, nullptr, true};
     ++cs.outstandingReads;
 
-    WireMessage msg1;
-    msg1.cipherHeader = encryptHeader(cs.tx, ctr, rd);
-    if (params.auth) {
-        msg1.hasMac = true;
-        msg1.mac = mac.compute(rd, ctr);
-    }
-    transmit(channel, std::move(msg1));
-
     WireHeader wr;
     wr.cmd = MemCmd::Write;
     wr.addr = dummyAddrFor(channel, cs.dummyAddr);
     wr.dummy = true;
+
+    crypto::Md5Digest macs[2];
+    if (params.auth) {
+        const WireHeader hdrs[2] = {rd, wr};
+        const uint64_t ctrs[2] = {ctr, ctr + 1};
+        mac.computeBatch(hdrs, ctrs, macs, 2);
+    }
+
+    WireMessage msg1;
+    msg1.cipherHeader = encryptHeaderWithPad(pads.pad[0], rd);
+    if (params.auth) {
+        msg1.hasMac = true;
+        msg1.mac = macs[0];
+    }
+    transmit(channel, std::move(msg1));
+
     WireMessage msg2;
-    msg2.cipherHeader = encryptHeader(cs.tx, ctr + 1, wr);
+    msg2.cipherHeader = encryptHeaderWithPad(pads.pad[1], wr);
     msg2.hasData = true;
     DataBlock junk;
     junkRng.fillBytes(junk.data(), junk.size());
-    msg2.cipherData = cryptPayload(cs.tx, ctr + 2, junk);
+    msg2.cipherData = cryptPayloadWithPads(&pads.pad[2], junk);
     if (params.auth) {
         msg2.hasMac = true;
-        msg2.mac = mac.compute(wr, ctr + 1);
+        msg2.mac = macs[1];
     }
     transmit(channel, std::move(msg2));
 }
@@ -550,8 +574,9 @@ ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
     notifyPads(channel, CounterStream::Response, ctr,
                countersPerReply);
 
+    const ReplyPads pads = genReplyPads(cs.rx, ctr);
     std::optional<WireHeader> hdr =
-        decryptHeader(cs.rx, ctr, msg.cipherHeader);
+        decryptHeaderWithPad(pads.header(), msg.cipherHeader);
     if (!hdr) {
         ++headerDesyncs;
         if (audit) {
@@ -573,7 +598,7 @@ ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
         }
     }
 
-    DataBlock data = cryptPayload(cs.rx, ctr + 1, msg.cipherData);
+    DataBlock data = cryptPayloadWithPads(pads.payload(), msg.cipherData);
 
     auto it = cs.pending.find(hdr->tag);
     if (it == cs.pending.end()) {

@@ -67,4 +67,42 @@ cryptPayload(const crypto::AesCtr &ctr, uint64_t counter,
     return out;
 }
 
+GroupPads
+genGroupPads(const crypto::AesCtr &ctr, uint64_t counter)
+{
+    GroupPads pads;
+    ctr.genPads(counter, pads.pad.data(), pads.pad.size());
+    return pads;
+}
+
+ReplyPads
+genReplyPads(const crypto::AesCtr &ctr, uint64_t counter)
+{
+    ReplyPads pads;
+    ctr.genPads(counter, pads.pad.data(), pads.pad.size());
+    return pads;
+}
+
+crypto::Block128
+encryptHeaderWithPad(const crypto::Block128 &pad, const WireHeader &hdr)
+{
+    return crypto::xorBlocks(hdr.pack(), pad);
+}
+
+std::optional<WireHeader>
+decryptHeaderWithPad(const crypto::Block128 &pad,
+                     const crypto::Block128 &cipher)
+{
+    return WireHeader::unpack(crypto::xorBlocks(cipher, pad));
+}
+
+DataBlock
+cryptPayloadWithPads(const crypto::Block128 pads[4], const DataBlock &in)
+{
+    DataBlock out = in;
+    for (unsigned i = 0; i < 4 && 16 * i < out.size(); ++i)
+        crypto::xorInto(out.data() + 16 * i, pads[i].data(), 16);
+    return out;
+}
+
 } // namespace obfusmem

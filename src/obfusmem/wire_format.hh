@@ -103,6 +103,47 @@ std::optional<WireHeader> decryptHeader(const crypto::AesCtr &ctr,
 DataBlock cryptPayload(const crypto::AesCtr &ctr, uint64_t counter,
                        const DataBlock &in);
 
+// --- Batched-pad variants (the hot path) ----------------------------
+//
+// The endpoints generate a whole group's (or reply's) pads with one
+// AesCtr::genPads call and then feed the precomputed pads to these
+// helpers, so the AES work is batched instead of being redone pad by
+// pad mid-protocol.
+
+/** All pads of one request group, generated in a single batch. */
+struct GroupPads
+{
+    std::array<crypto::Block128, countersPerRequestGroup> pad;
+};
+
+/** All pads of one read reply, generated in a single batch. */
+struct ReplyPads
+{
+    std::array<crypto::Block128, countersPerReply> pad;
+
+    const crypto::Block128 &header() const { return pad[0]; }
+    const crypto::Block128 *payload() const { return &pad[1]; }
+};
+
+/** Batch-generate the six pads of the request group at `counter`. */
+GroupPads genGroupPads(const crypto::AesCtr &ctr, uint64_t counter);
+
+/** Batch-generate the five pads of the read reply at `counter`. */
+ReplyPads genReplyPads(const crypto::AesCtr &ctr, uint64_t counter);
+
+/** Encrypt a header with a precomputed pad. */
+crypto::Block128 encryptHeaderWithPad(const crypto::Block128 &pad,
+                                      const WireHeader &hdr);
+
+/** Decrypt and parse a header with a precomputed pad. */
+std::optional<WireHeader>
+decryptHeaderWithPad(const crypto::Block128 &pad,
+                     const crypto::Block128 &cipher);
+
+/** Encrypt/decrypt a 64-byte payload with four precomputed pads. */
+DataBlock cryptPayloadWithPads(const crypto::Block128 pads[4],
+                               const DataBlock &in);
+
 } // namespace obfusmem
 
 #endif // OBFUSMEM_OBFUSMEM_WIRE_FORMAT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sweep runner implementation.
+ */
+
+#include "runner/sweep.hh"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace obfusmem {
+namespace runner {
+
+unsigned
+jobsFromEnv()
+{
+    static const unsigned jobs = [] {
+        const char *env = std::getenv("OBFUSMEM_BENCH_JOBS");
+        if (!env || !*env)
+            return 1u;
+        unsigned long parsed = 0;
+        try {
+            parsed = std::stoul(env);
+        } catch (...) {
+            return 1u;
+        }
+        if (parsed == 0) {
+            unsigned hw = std::thread::hardware_concurrency();
+            return hw ? hw : 1u;
+        }
+        // Cap at a sane bound; a sweep never has thousands of points.
+        return static_cast<unsigned>(parsed > 256 ? 256 : parsed);
+    }();
+    return jobs;
+}
+
+std::vector<System::RunResult>
+runSweep(const std::vector<SystemConfig> &configs, unsigned jobs)
+{
+    return parallelIndexMap(configs.size(), jobs, [&](size_t i) {
+        System sys(configs[i]);
+        return sys.run();
+    });
+}
+
+} // namespace runner
+} // namespace obfusmem

@@ -95,6 +95,62 @@ TEST(Aes128, RekeyingWorks)
     EXPECT_EQ(aes.encryptBlock(pt), first);
 }
 
+TEST(Aes128, Fips197BothImplementations)
+{
+    // The known-answer vectors must hold for the T-table fast path
+    // AND the byte-oriented reference, independent of the default.
+    for (AesImpl impl : {AesImpl::Ttable, AesImpl::Reference}) {
+        Aes128 aes(block("2b7e151628aed2a6abf7158809cf4f3c"));
+        aes.setImpl(impl);
+        EXPECT_EQ(toHex(aes.encryptBlock(
+                      block("3243f6a8885a308d313198a2e0370734"))),
+                  "3925841d02dc09fbdc118597196a0b32");
+        aes.setKey(block("000102030405060708090a0b0c0d0e0f"));
+        EXPECT_EQ(toHex(aes.encryptBlock(
+                      block("00112233445566778899aabbccddeeff"))),
+                  "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+}
+
+TEST(Aes128, TtableMatchesReferenceRandomized)
+{
+    // Pin the fused-table fast path to the structural reference over
+    // many random keys and plaintexts.
+    Random rng(0xc0ffee);
+    for (int k = 0; k < 20; ++k) {
+        Aes128::Key key;
+        rng.fillBytes(key.data(), key.size());
+        Aes128 fast(key), ref(key);
+        fast.setImpl(AesImpl::Ttable);
+        ref.setImpl(AesImpl::Reference);
+        for (int i = 0; i < 50; ++i) {
+            Block128 pt;
+            rng.fillBytes(pt.data(), pt.size());
+            EXPECT_EQ(fast.encryptBlock(pt), ref.encryptBlock(pt));
+        }
+    }
+}
+
+TEST(Aes128, EncryptBlocksMatchesBlockwise)
+{
+    Random rng(7);
+    Aes128::Key key;
+    rng.fillBytes(key.data(), key.size());
+    Aes128 aes(key);
+
+    std::array<Block128, 11> in, out;
+    for (auto &b : in)
+        rng.fillBytes(b.data(), b.size());
+    aes.encryptBlocks(in.data(), out.data(), in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], aes.encryptBlock(in[i]));
+
+    // In-place (aliased) batching must give the same answer.
+    std::array<Block128, 11> aliased = in;
+    aes.encryptBlocks(aliased.data(), aliased.data(), aliased.size());
+    EXPECT_EQ(aliased, out);
+}
+
 TEST(AesCtr, PadMatchesManualConstruction)
 {
     Aes128::Key key = block("2b7e151628aed2a6abf7158809cf4f3c");
@@ -115,6 +171,23 @@ TEST(AesCtr, PadsAreUniquePerCounter)
     for (uint64_t i = 0; i < 500; ++i)
         pads.insert(toHex(ctr.pad(i)));
     EXPECT_EQ(pads.size(), 500u);
+}
+
+TEST(AesCtr, GenPadsMatchesSinglePads)
+{
+    // The batched group-pad API must be equivalent to generating the
+    // pads one counter at a time (this is the equivalence the whole
+    // wire protocol's pad caching rests on).
+    AesCtr ctr(block("2b7e151628aed2a6abf7158809cf4f3c"), 0xabcd);
+    for (uint64_t base : {0ull, 1ull, 6ull, 12345ull}) {
+        for (size_t n : {1u, 2u, 5u, 6u, 8u}) {
+            std::vector<Block128> batch(n);
+            ctr.genPads(base, batch.data(), n);
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(batch[i], ctr.pad(base + i))
+                    << "base=" << base << " i=" << i;
+        }
+    }
 }
 
 TEST(AesCtr, DifferentNoncesDifferentStreams)
