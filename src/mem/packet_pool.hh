@@ -1,0 +1,149 @@
+/**
+ * @file
+ * A slab/free-list recycler for in-flight memory requests.
+ *
+ * A MemPacket plus its completion callback is ~150 bytes — far past
+ * the small-buffer storage of std::function — so a closure that
+ * captures the pair by value heap-allocates on every hop. Components
+ * that thread a request through a chain of bus/controller callbacks
+ * instead park the pair in a pool slot and carry the 4-byte handle:
+ * the closures shrink to {this, channel, handle} (16 bytes, inside
+ * std::function's SBO), and the steady-state request flow stops
+ * touching the global allocator. Slots are recycled through an
+ * intrusive free list; the pool grows by whole slabs only when
+ * exhausted, so the slab vector is quiescent after warm-up.
+ */
+
+#ifndef OBFUSMEM_MEM_PACKET_POOL_HH
+#define OBFUSMEM_MEM_PACKET_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "util/assert.hh"
+#include "util/stats.hh"
+
+namespace obfusmem {
+
+/**
+ * Pool of in-flight {packet, callback} slots addressed by uint32
+ * handles. Per-System (single-threaded, like the event queue).
+ */
+class PacketPool
+{
+  public:
+    using Handle = uint32_t;
+    static constexpr Handle nil = 0xffffffffu;
+
+    /** One in-flight request. Live between acquire() and release(). */
+    struct Slot
+    {
+        MemPacket pkt;
+        PacketCallback cb;
+        uint32_t nextFree = nil;
+    };
+
+    /** Park a request; returns the handle to carry through closures. */
+    Handle
+    acquire(MemPacket &&pkt, PacketCallback &&cb)
+    {
+        if (freeHead == nil)
+            grow();
+        const Handle h = freeHead;
+        Slot &s = at(h);
+        freeHead = s.nextFree;
+        s.pkt = std::move(pkt);
+        s.cb = std::move(cb);
+        if (++liveSlots > highWater_) {
+            highWater_ = liveSlots;
+            statHighWater.set(static_cast<double>(highWater_));
+        }
+        return h;
+    }
+
+    /** Access a live slot (e.g. to move the packet out and back in). */
+    Slot &
+    at(Handle h)
+    {
+        return slabs[h >> slabShift][h & (slabSlots - 1)];
+    }
+
+    /**
+     * Move the slot contents into the out-params and recycle the
+     * handle. Out-params (not a returned Slot&) so the caller can
+     * safely invoke the callback even if it re-enters the pool and
+     * reuses this slot.
+     */
+    void
+    release(Handle h, MemPacket &pkt_out, PacketCallback &cb_out)
+    {
+        Slot &s = at(h);
+        pkt_out = std::move(s.pkt);
+        cb_out = std::move(s.cb);
+        s.cb = nullptr;
+        s.nextFree = freeHead;
+        freeHead = h;
+        OBF_DCHECK(liveSlots > 0, "releasing into an empty pool");
+        --liveSlots;
+    }
+
+    /** Maximum simultaneously in-flight requests seen. */
+    size_t highWater() const { return highWater_; }
+
+    /** Current pool capacity, in slots. */
+    size_t capacity() const { return slabs.size() * slabSlots; }
+
+    /** Requests currently in flight. */
+    size_t inFlight() const { return liveSlots; }
+
+    /** Register pool counters as a `pktpool` group under `parent`. */
+    void
+    attachStats(statistics::Group &parent)
+    {
+        OBF_ASSERT(statGroup == nullptr, "packet pool stats attached twice");
+        statGroup =
+            std::make_unique<statistics::Group>("pktpool", &parent);
+        statHighWater.set(static_cast<double>(highWater_));
+        statSlots.set(static_cast<double>(capacity()));
+        statGroup->addScalar("inflightHighWater", &statHighWater,
+                             "max simultaneously pooled requests");
+        statGroup->addScalar("slots", &statSlots,
+                             "packet pool capacity");
+    }
+
+  private:
+    static constexpr unsigned slabShift = 8;
+    static constexpr size_t slabSlots = size_t(1) << slabShift;
+
+    void
+    grow()
+    {
+        OBF_ASSERT(slabs.size() < (size_t(nil) >> slabShift),
+                   "packet pool exhausted");
+        auto slab = std::make_unique<Slot[]>(slabSlots);
+        const Handle base =
+            static_cast<Handle>(slabs.size() << slabShift);
+        for (size_t i = slabSlots; i-- > 0;) {
+            slab[i].nextFree = freeHead;
+            freeHead = base + static_cast<Handle>(i);
+        }
+        slabs.push_back(std::move(slab));
+        statSlots.set(static_cast<double>(capacity()));
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> slabs;
+    Handle freeHead = nil;
+    size_t liveSlots = 0;
+    size_t highWater_ = 0;
+
+    std::unique_ptr<statistics::Group> statGroup;
+    statistics::Scalar statHighWater;
+    statistics::Scalar statSlots;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_MEM_PACKET_POOL_HH

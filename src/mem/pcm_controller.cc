@@ -69,13 +69,12 @@ PcmController::access(MemPacket pkt, PacketCallback cb)
              ++it) {
             const auto &w = *it;
             if (w.pkt.addr == pkt.addr) {
-                MemPacket resp = pkt;
-                resp.data = w.pkt.data;
+                pkt.data = w.pkt.data;
                 ++readReqs;
                 readLatencyNs.sample(ticksToNs(params.tCL));
                 scheduleAfter(params.tCL,
                               [cb = std::move(cb),
-                               resp = std::move(resp)]() mutable {
+                               resp = std::move(pkt)]() mutable {
                                   cb(std::move(resp));
                               });
                 return;

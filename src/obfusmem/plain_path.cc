@@ -13,9 +13,9 @@ PlainPath::PlainPath(const std::string &name, EventQueue &eq,
                      statistics::Group *parent, const AddressMap &map,
                      const std::vector<ChannelBus *> &buses_,
                      const std::vector<PcmController *> &controllers_,
-                     const Params &params_)
+                     PacketPool &pool_, const Params &params_)
     : SimObject(name, eq, parent), addrMap(map), buses(buses_),
-      controllers(controllers_), params(params_),
+      controllers(controllers_), pool(pool_), params(params_),
       channelState(map.channels())
 {
     fatal_if(buses.size() != map.channels()
@@ -58,28 +58,37 @@ PlainPath::access(MemPacket pkt, PacketCallback cb)
 void
 PlainPath::sendRead(unsigned channel, MemPacket pkt, PacketCallback cb)
 {
-    ChannelBus *bus = buses[channel];
-    PcmController *pcm = controllers[channel];
     ChannelState &cs = channelState[channel];
     ++cs.outstandingReads;
 
+    // Park the request in the pool and carry only the handle: every
+    // closure below is {this, channel, h} — small enough for
+    // std::function's inline storage, so no per-hop allocation.
+    const uint64_t addr = pkt.addr;
+    const PacketPool::Handle h =
+        pool.acquire(std::move(pkt), std::move(cb));
+
     // Read requests ride the command pins; the address and command
     // bit are exposed to any snooper.
-    bus->send(BusDir::ToMemory, 0, pkt.addr, false,
-        [this, channel, bus, pcm, pkt = std::move(pkt),
-         cb = std::move(cb)]() mutable {
-            pcm->access(std::move(pkt),
-                [this, channel, bus,
-                 cb = std::move(cb)](MemPacket &&resp) mutable {
-                    uint64_t addr = resp.addr;
-                    uint32_t bytes =
-                        static_cast<uint32_t>(resp.data.size());
-                    bus->send(BusDir::ToProcessor, bytes, addr, false,
-                        [this, channel, cb = std::move(cb),
-                         resp = std::move(resp)]() mutable {
+    buses[channel]->send(BusDir::ToMemory, 0, addr, false,
+        [this, channel, h]() {
+            PacketPool::Slot &slot = pool.at(h);
+            controllers[channel]->access(std::move(slot.pkt),
+                [this, channel, h](MemPacket &&resp) {
+                    PacketPool::Slot &slot2 = pool.at(h);
+                    slot2.pkt = std::move(resp);
+                    const uint64_t raddr = slot2.pkt.addr;
+                    const uint32_t bytes =
+                        static_cast<uint32_t>(slot2.pkt.data.size());
+                    buses[channel]->send(BusDir::ToProcessor, bytes,
+                                         raddr, false,
+                        [this, channel, h]() {
                             ChannelState &cs2 = channelState[channel];
                             --cs2.outstandingReads;
-                            cb(std::move(resp));
+                            MemPacket resp2;
+                            PacketCallback done;
+                            pool.release(h, resp2, done);
+                            done(std::move(resp2));
                             maybeDrainWrites(channel);
                         });
                 });
@@ -89,15 +98,18 @@ PlainPath::sendRead(unsigned channel, MemPacket pkt, PacketCallback cb)
 void
 PlainPath::sendWrite(unsigned channel, MemPacket pkt, PacketCallback cb)
 {
-    ChannelBus *bus = buses[channel];
-    PcmController *pcm = controllers[channel];
-    uint32_t bytes = static_cast<uint32_t>(pkt.data.size());
-    uint64_t addr = pkt.addr;
+    const uint32_t bytes = static_cast<uint32_t>(pkt.data.size());
+    const uint64_t addr = pkt.addr;
+    const PacketPool::Handle h =
+        pool.acquire(std::move(pkt), std::move(cb));
 
-    bus->send(BusDir::ToMemory, bytes, addr, true,
-        [this, channel, pcm, pkt = std::move(pkt),
-         cb = std::move(cb)]() mutable {
-            pcm->access(std::move(pkt), std::move(cb));
+    buses[channel]->send(BusDir::ToMemory, bytes, addr, true,
+        [this, channel, h]() {
+            MemPacket wpkt;
+            PacketCallback wcb;
+            pool.release(h, wpkt, wcb);
+            controllers[channel]->access(std::move(wpkt),
+                                         std::move(wcb));
             // Keep the drain moving when no reads will retrigger it.
             maybeDrainWrites(channel);
         });

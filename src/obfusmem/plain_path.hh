@@ -20,6 +20,7 @@
 #include "mem/address_map.hh"
 #include "mem/channel_bus.hh"
 #include "mem/packet.hh"
+#include "mem/packet_pool.hh"
 #include "mem/pcm_controller.hh"
 #include "sim/sim_object.hh"
 
@@ -42,7 +43,7 @@ class PlainPath : public SimObject, public MemSink
               statistics::Group *parent, const AddressMap &map,
               const std::vector<ChannelBus *> &buses,
               const std::vector<PcmController *> &controllers,
-              const Params &params);
+              PacketPool &pool, const Params &params);
 
     void access(MemPacket pkt, PacketCallback cb) override;
 
@@ -71,6 +72,7 @@ class PlainPath : public SimObject, public MemSink
     const AddressMap &addrMap;
     std::vector<ChannelBus *> buses;
     std::vector<PcmController *> controllers;
+    PacketPool &pool;
     Params params;
     std::vector<ChannelState> channelState;
 

@@ -397,7 +397,7 @@ MemoryEncryptionEngine::access(MemPacket pkt, PacketCallback cb)
         });
     };
 
-    MemPacket req = pkt;
+    MemPacket req = std::move(pkt);
     withCounter(page, [this, join, finish](Tick ready) {
         join->padTick = ready + params.aesPadLatency;
         join->padDone = true;

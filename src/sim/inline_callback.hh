@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A move-only, type-erased callable with inline storage. The event
+ * kernel stores callbacks in pooled event nodes; keeping the capture
+ * inside the node (instead of behind a std::function heap cell) is
+ * what makes schedule()/step() allocation-free at steady state.
+ */
+
+#ifndef OBFUSMEM_SIM_INLINE_CALLBACK_HH
+#define OBFUSMEM_SIM_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace obfusmem {
+
+/**
+ * Like std::function<void()>, but the capture lives in `Capacity`
+ * bytes of inline storage — there is no fallback heap allocation. A
+ * capture larger than `Capacity` is a compile error (static_assert),
+ * so growth of a hot-path closure is caught at build time instead of
+ * silently reintroducing an allocation per event.
+ *
+ * Move-only: callbacks routinely own moved-in MemPackets and
+ * std::functions, and the kernel only ever needs to relocate them
+ * (schedule -> node -> step), never duplicate them.
+ */
+template <std::size_t Capacity>
+class InlineCallback
+{
+  public:
+    static constexpr std::size_t capacity = Capacity;
+
+    InlineCallback() = default;
+
+    /** Wrap any void() callable whose size fits the inline storage. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "InlineCallback target must be callable as void()");
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callback capture exceeds InlineCallback storage; "
+                      "shrink the capture (move large objects into a pool "
+                      "and capture the handle) or raise the capacity");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callback capture");
+        ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+        vt = vtableFor<Fn>();
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept : vt(other.vt)
+    {
+        if (vt) {
+            vt->relocate(storage, other.storage);
+            other.vt = nullptr;
+        }
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            vt = other.vt;
+            if (vt) {
+                vt->relocate(storage, other.storage);
+                other.vt = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** Destroy the held callable (if any); leaves *this empty. */
+    void
+    reset()
+    {
+        if (vt) {
+            vt->destroy(storage);
+            vt = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return vt != nullptr; }
+
+    /** Invoke the held callable. Precondition: non-empty. */
+    void operator()() { vt->invoke(storage); }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *self);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static const VTable *
+    vtableFor()
+    {
+        static const VTable table = {
+            [](void *self) {
+                (*std::launder(reinterpret_cast<Fn *>(self)))();
+            },
+            [](void *dst, void *src) {
+                Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+                ::new (dst) Fn(std::move(*from));
+                from->~Fn();
+            },
+            [](void *self) {
+                std::launder(reinterpret_cast<Fn *>(self))->~Fn();
+            },
+        };
+        return &table;
+    }
+
+    alignas(std::max_align_t) unsigned char storage[Capacity];
+    const VTable *vt = nullptr;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_INLINE_CALLBACK_HH

@@ -48,6 +48,10 @@ kdfChannelKey(uint64_t seed, unsigned channel)
 System::System(const SystemConfig &config)
     : cfg(config), root("system", nullptr)
 {
+    // `eq` is declared before `root`, so its stats group attaches here
+    // rather than from an init-list.
+    eq.attachStats(root);
+    pktPool.attachStats(root);
     map = std::make_unique<AddressMap>(cfg.capacityBytes, cfg.channels);
     store = std::make_unique<BackingStore>(cfg.capacityBytes);
 
@@ -132,7 +136,7 @@ System::buildMemoryPath()
         }
         plainPath = std::make_unique<PlainPath>(
             "system.plainPath", eq, &root, *map, bus_ptrs, pcm_ptrs,
-            PlainPath::Params{});
+            pktPool, PlainPath::Params{});
         if (cfg.mode == ProtectionMode::EncryptionOnly) {
             EncryptionParams enc = cfg.encryption;
             encEngine = std::make_unique<MemoryEncryptionEngine>(
@@ -217,7 +221,7 @@ System::buildMemoryPath()
         }
         plainPath = std::make_unique<PlainPath>(
             "system.plainPath", eq, &root, *map, bus_ptrs, pcm_ptrs,
-            PlainPath::Params{});
+            pktPool, PlainPath::Params{});
         OramDetailed::Params op = cfg.oramDetailed;
         if (op.treeBase == 0)
             op.treeBase = cfg.oramTreeBase();

@@ -14,6 +14,7 @@
 #include "check/trace_auditor.hh"
 #include "cpu/core.hh"
 #include "mem/backing_store.hh"
+#include "mem/packet_pool.hh"
 #include "obfusmem/mem_side.hh"
 #include "obfusmem/observer.hh"
 #include "obfusmem/plain_path.hh"
@@ -79,6 +80,7 @@ class System
     // --- Component access (tests, benches, examples) -----------------
 
     EventQueue &eventQueue() { return eq; }
+    PacketPool &packetPool() { return pktPool; }
     statistics::Group &rootStats() { return root; }
     CacheHierarchy &hierarchy() { return *caches; }
     BackingStore &backingStore() { return *store; }
@@ -119,6 +121,7 @@ class System
 
     SystemConfig cfg;
     EventQueue eq;
+    PacketPool pktPool;
     statistics::Group root;
 
     std::unique_ptr<AddressMap> map;

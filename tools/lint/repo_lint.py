@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific security lints for the ObfusMem simulator.
 
-Four rules, each encoding an invariant the generic toolchain cannot
+Five rules, each encoding an invariant the generic toolchain cannot
 know about:
 
   weak-rng        rand()/std::rand() anywhere outside src/util/random:
@@ -15,6 +15,12 @@ know about:
                   the stack or heap.
   include-guard   headers guard with OBFUSMEM_<PATH>_HH derived from
                   the path, so guards can never collide.
+  packet-capture  a lambda in src/ that captures a MemPacket by value:
+                  packets are ~176 bytes with their data block, and the
+                  hot path moves them through pooled storage — a plain
+                  `pkt` capture silently reintroduces a copy (and a
+                  heap allocation) per hop. Capture with std::move, by
+                  reference, or carry a PacketPool handle.
 
 Exit status is the number of findings (0 == clean). Run from anywhere;
 paths resolve relative to the repo root. `--self-test` checks the
@@ -49,6 +55,12 @@ CT_QUANTITY_RE = re.compile(
 MEMCPY_KEY_RE = re.compile(r"memcpy\s*\([^;]*\bkey\w*\b", re.IGNORECASE)
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)", re.MULTILINE)
+
+# A lambda capture list (multi-line tolerated) followed by a parameter
+# list, body, or `mutable`. The trailing context keeps array indexing
+# (`queue[i] = x`) out of scope.
+LAMBDA_CAPTURE_RE = re.compile(r"\[([^\[\]]*)\]\s*(?:\(|\{|mutable\b)")
+PKT_NAME_RE = re.compile(r"\b\w*pkt\w*\b", re.IGNORECASE)
 
 
 def finding(path, line_no, rule, message):
@@ -109,6 +121,43 @@ def lint_include_guard(rel, text):
             f"guard {m.group(1)} should be {want}"
 
 
+def split_captures(capture_list):
+    """Split a capture list on top-level commas (paren/brace aware)."""
+    items, depth, cur = [], 0, []
+    for ch in capture_list:
+        if ch in "({":
+            depth += 1
+        elif ch in ")}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            items.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    items.append("".join(cur))
+    return items
+
+
+def lint_packet_capture(rel, text):
+    if not rel.startswith("src/"):
+        return  # tests may copy packets to compare against
+    all_lines = text.splitlines()
+    for m in LAMBDA_CAPTURE_RE.finditer(text):
+        line_no = text[:m.start()].count("\n") + 1
+        if "NOLINT" in all_lines[line_no - 1]:
+            continue
+        for item in split_captures(m.group(1)):
+            item = item.strip()
+            if not item or item.startswith("&"):
+                continue  # reference captures don't copy
+            if "std::move" in item or not PKT_NAME_RE.search(item):
+                continue
+            yield line_no, "packet-capture", \
+                f"by-value MemPacket capture `{item}` copies ~176 " \
+                "bytes per hop; capture with std::move, by reference, " \
+                "or carry a PacketPool handle"
+
+
 def lint_text(rel, text):
     """All findings for one file's contents (testable entry point)."""
     lines = [(i + 1, l) for i, l in enumerate(text.splitlines())
@@ -118,6 +167,7 @@ def lint_text(rel, text):
     out.extend(lint_ct_compare(rel, lines))
     out.extend(lint_key_scrub(rel, lines, text))
     out.extend(lint_include_guard(rel, text))
+    out.extend(lint_packet_capture(rel, text))
     return out
 
 
@@ -148,6 +198,18 @@ SELF_TEST_CASES = [
     ("src/check/trace_auditor.hh",
      "#ifndef TRACE_AUDITOR_H\n#define TRACE_AUDITOR_H\n",
      "include-guard"),
+    # The pre-rewrite PlainPath closure chain: a plain `pkt` in a
+    # capture list copies the packet once per hop.
+    ("src/obfusmem/plain_path.cc",
+     "    bus->send(BusDir::ToMemory, 0, pkt.addr, false,\n"
+     "        [this, channel, pkt, cb = std::move(cb)]() mutable {\n"
+     "            pcm->access(std::move(pkt), std::move(cb));\n"
+     "        });\n",
+     "packet-capture"),
+    ("src/mem/pcm_controller.cc",
+     "    scheduleAfter(t, [cb, resp = pkt]() mutable "
+     "{ cb(std::move(resp)); });\n",
+     "packet-capture"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -157,6 +219,18 @@ SELF_TEST_CLEAN = [
      "    stats.macVerifyFailures == 0;\n"),
     ("tests/test_crypto_hash.cc",
      "    EXPECT_TRUE(digest == expected);\n"),
+    # Moved and reference captures, and plain array indexing, are fine.
+    ("src/obfusmem/plain_path.cc",
+     "    eventQueue().schedule(done,\n"
+     "        [this, pkt = std::move(pkt), cb = std::move(cb)]() "
+     "mutable {\n"
+     "            cb(std::move(pkt));\n"
+     "        });\n"),
+    ("src/mem/pcm_controller.cc",
+     "    inner.access(std::move(pkt),\n"
+     "        [&pkt](MemPacket &&resp) { pkt = std::move(resp); });\n"),
+    ("src/mem/channel_bus.cc",
+     "    pktQueue[channel] = {std::move(msg)};\n"),
 ]
 
 
