@@ -12,12 +12,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <string>
 
 #include "runner/sweep.hh"
 #include "system/system.hh"
+#include "util/env.hh"
 
 namespace obfusmem {
 namespace bench {
@@ -26,11 +26,8 @@ namespace bench {
 inline uint64_t
 instructionsPerCore()
 {
-    if (const char *env = std::getenv("OBFUSMEM_BENCH_INSTRS"))
-        return std::strtoull(env, nullptr, 10);
-    if (std::getenv("OBFUSMEM_QUICK"))
-        return 40 * 1000;
-    return 150 * 1000;
+    uint64_t def = env::flag("OBFUSMEM_QUICK") ? 40 * 1000 : 150 * 1000;
+    return env::u64("OBFUSMEM_BENCH_INSTRS", def);
 }
 
 /** Sweep width from OBFUSMEM_BENCH_JOBS (1 = serial, the default). */
@@ -156,10 +153,8 @@ inline std::FILE *
 jsonFile()
 {
     static std::FILE *f = []() -> std::FILE * {
-        const char *path = std::getenv("OBFUSMEM_BENCH_JSON");
-        if (!path || !*path)
-            return nullptr;
-        return std::fopen(path, "a");
+        const char *path = env::raw("OBFUSMEM_BENCH_JSON");
+        return path ? std::fopen(path, "a") : nullptr;
     }();
     return f;
 }

@@ -4,10 +4,21 @@
  * the functional engines whose synthesized-hardware parameters the
  * timing model uses (AES-CTR pads, MD5 MACs) plus the boot-time
  * public-key operations and a Path ORAM access.
+ *
+ * A custom main also hand-times the AES implementations against each
+ * other and appends the speedups as OBFUSMEM_BENCH_JSON rows (see
+ * BENCH_PR4.json): for `crypto_microbench` rows, `overhead_pct`
+ * carries the speedup ratio versus the T-table path and `ticks` the
+ * blocks processed.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
 #include "crypto/aes128.hh"
 #include "crypto/ctr_mode.hh"
 #include "crypto/dh.hh"
@@ -33,6 +44,9 @@ key()
     return k;
 }
 
+constexpr AesImpl implForArg[] = {AesImpl::Reference, AesImpl::Ttable,
+                                  AesImpl::Aesni};
+
 void
 BM_AesEncryptBlock(benchmark::State &state)
 {
@@ -46,23 +60,50 @@ BM_AesEncryptBlock(benchmark::State &state)
 }
 BENCHMARK(BM_AesEncryptBlock);
 
-// The two implementations side by side: the fused T-table fast path
-// against the byte-oriented structural reference it is pinned to.
+// The implementations side by side: the AES-NI hardware path and the
+// fused T-table fast path against the byte-oriented structural
+// reference both are pinned to.
 void
 BM_AesEncryptBlockImpl(benchmark::State &state)
 {
+    AesImpl impl = implForArg[state.range(0)];
+    if (impl == AesImpl::Aesni && !Aes128::aesniAvailable()) {
+        state.SkipWithError("AES-NI unavailable on this host/build");
+        return;
+    }
     Aes128 aes(key());
-    aes.setImpl(state.range(0) ? AesImpl::Ttable
-                               : AesImpl::Reference);
+    aes.setImpl(impl);
     Block128 block{};
     for (auto _ : state) {
         block = aes.encryptBlock(block);
         benchmark::DoNotOptimize(block);
     }
     state.SetBytesProcessed(state.iterations() * 16);
-    state.SetLabel(state.range(0) ? "ttable" : "reference");
+    state.SetLabel(aesImplName(impl));
 }
-BENCHMARK(BM_AesEncryptBlockImpl)->Arg(0)->Arg(1);
+BENCHMARK(BM_AesEncryptBlockImpl)->Arg(0)->Arg(1)->Arg(2);
+
+// Batched pad-sized bursts (48 blocks = one prefetch refill of eight
+// 6-pad request groups): where the AES-NI 8-wide pipelining shows.
+void
+BM_AesEncryptBlocksImpl(benchmark::State &state)
+{
+    AesImpl impl = implForArg[state.range(0)];
+    if (impl == AesImpl::Aesni && !Aes128::aesniAvailable()) {
+        state.SkipWithError("AES-NI unavailable on this host/build");
+        return;
+    }
+    Aes128 aes(key());
+    aes.setImpl(impl);
+    Block128 blocks[48] = {};
+    for (auto _ : state) {
+        aes.encryptBlocks(blocks, blocks, 48);
+        benchmark::DoNotOptimize(blocks);
+    }
+    state.SetBytesProcessed(state.iterations() * 48 * 16);
+    state.SetLabel(aesImplName(impl));
+}
+BENCHMARK(BM_AesEncryptBlocksImpl)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_AesCtrPad(benchmark::State &state)
@@ -236,4 +277,75 @@ BM_PathOramAccess(benchmark::State &state)
 }
 BENCHMARK(BM_PathOramAccess)->Arg(10)->Arg(16)->Arg(20);
 
+// --- AES speedup summary (BENCH_PR4.json) ---------------------------
+
+/** Blocks/second of `impl` encrypting `batch`-block bursts. */
+double
+aesBlocksPerSec(AesImpl impl, size_t batch, uint64_t blocks)
+{
+    Aes128 aes(key());
+    aes.setImpl(impl);
+    std::vector<Block128> buf(batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t done = 0; done < blocks; done += batch)
+        aes.encryptBlocks(buf.data(), buf.data(), batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(blocks) /
+           std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Hand-timed aesni-vs-ttable comparison, independent of the Google
+ * benchmark harness so the rows land in OBFUSMEM_BENCH_JSON with the
+ * shared schema: overhead_pct carries the speedup ratio, ticks the
+ * blocks processed, wall_ms the aesni leg's wall time.
+ */
+void
+emitAesSpeedupRows()
+{
+    const uint64_t blocks =
+        obfusmem::env::flag("OBFUSMEM_QUICK") ? 400 * 1000
+                                              : 4 * 1000 * 1000;
+    std::printf("\n=== AES implementation speedup (%llu blocks) ===\n",
+                static_cast<unsigned long long>(blocks));
+    if (!Aes128::aesniAvailable()) {
+        std::printf("AES-NI unavailable on this host/build; "
+                    "skipping speedup rows\n");
+        return;
+    }
+    struct Shape
+    {
+        const char *name;
+        size_t batch;
+    };
+    // batch 1 = the single-block acceptance shape; batch 48 = one
+    // prefetch refill of eight 6-pad request groups.
+    const Shape shapes[] = {{"single-block", 1}, {"batch48", 48}};
+    for (const auto &s : shapes) {
+        const double ttable =
+            aesBlocksPerSec(AesImpl::Ttable, s.batch, blocks);
+        const double aesni =
+            aesBlocksPerSec(AesImpl::Aesni, s.batch, blocks);
+        const double speedup = aesni / ttable;
+        std::printf("%-12s  ttable %8.1f Mblk/s   aesni %8.1f "
+                    "Mblk/s   speedup %.2fx\n",
+                    s.name, ttable / 1e6, aesni / 1e6, speedup);
+        bench::jsonRow("crypto_microbench", "aesni_vs_ttable", s.name,
+                       blocks, speedup,
+                       static_cast<double>(blocks) / aesni * 1e3);
+    }
+}
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitAesSpeedupRows();
+    return 0;
+}

@@ -170,7 +170,7 @@ measure(EvqImpl impl, const char *implName, Workload wl,
 int
 main()
 {
-    const bool quick = std::getenv("OBFUSMEM_QUICK") != nullptr;
+    const bool quick = obfusmem::env::flag("OBFUSMEM_QUICK");
     const uint64_t events = quick ? 400 * 1000 : 4 * 1000 * 1000;
 
     std::printf("\n=== sim kernel microbench ===\n");

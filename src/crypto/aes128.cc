@@ -1,17 +1,18 @@
 /**
  * @file
  * AES-128: byte-oriented FIPS-197 reference path plus the T-table
- * fast path. Every table (S-box, inverse S-box, the four fused
- * encryption tables) is generated at compile time, so there is no
- * lazily initialized mutable state anywhere in this translation unit
- * and instances are safe to use from concurrent sweep-runner jobs.
+ * fast path, and the dispatch that can route to the AES-NI hardware
+ * path (compiled separately in aes128_aesni.cc). Every table (S-box,
+ * inverse S-box, the four fused encryption tables) is generated at
+ * compile time, so there is no lazily initialized mutable state
+ * anywhere in this translation unit and instances are safe to use
+ * from concurrent sweep-runner jobs.
  */
 
 #include "crypto/aes128.hh"
 
-#include <cstdlib>
-#include <string_view>
-
+#include "crypto/cpu_features.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace obfusmem {
@@ -200,14 +201,59 @@ addRoundKey(uint8_t *s, const uint8_t *rk)
 
 } // namespace
 
+const char *
+aesImplName(AesImpl impl)
+{
+    switch (impl) {
+      case AesImpl::Ttable: return "ttable";
+      case AesImpl::Reference: return "reference";
+      case AesImpl::Aesni: return "aesni";
+    }
+    return "unknown";
+}
+
+bool
+Aes128::aesniAvailable()
+{
+    return detail::aesniCompiledIn() && cpuHasAesni();
+}
+
+void
+Aes128::setImpl(AesImpl impl)
+{
+    if (impl == AesImpl::Aesni && !aesniAvailable()) {
+        warn("AES-NI requested but ",
+             detail::aesniCompiledIn() ? "this CPU does not support it"
+                                       : "this build does not include it",
+             "; using the T-table path");
+        impl = AesImpl::Ttable;
+    }
+    implChoice = impl;
+}
+
 AesImpl
 Aes128::defaultImpl()
 {
     static const AesImpl choice = [] {
-        const char *env = std::getenv("OBFUSMEM_AES_IMPL");
-        if (env && std::string_view(env) == "reference")
+        size_t unset = 3;
+        size_t pick = env::choice("OBFUSMEM_AES_IMPL",
+                                  {"aesni", "ttable", "reference"}, unset);
+        switch (pick) {
+          case 0:
+            if (aesniAvailable())
+                return AesImpl::Aesni;
+            warn("OBFUSMEM_AES_IMPL=aesni but AES-NI is unavailable ",
+                 detail::aesniCompiledIn() ? "(CPU lacks the instructions)"
+                                           : "(disabled in this build)",
+                 "; using ttable");
+            return AesImpl::Ttable;
+          case 1:
+            return AesImpl::Ttable;
+          case 2:
             return AesImpl::Reference;
-        return AesImpl::Ttable;
+          default:
+            return aesniAvailable() ? AesImpl::Aesni : AesImpl::Ttable;
+        }
     }();
     return choice;
 }
@@ -318,21 +364,34 @@ Block128
 Aes128::encryptBlock(const Block128 &plaintext) const
 {
     panic_if(!keyed, "Aes128 used before setKey");
-    return implChoice == AesImpl::Ttable ? encryptTtable(plaintext)
-                                         : encryptReference(plaintext);
+    switch (implChoice) {
+      case AesImpl::Aesni:
+        return detail::aesniEncryptBlock(roundKeys, plaintext);
+      case AesImpl::Ttable:
+        return encryptTtable(plaintext);
+      case AesImpl::Reference:
+        break;
+    }
+    return encryptReference(plaintext);
 }
 
 void
 Aes128::encryptBlocks(const Block128 *in, Block128 *out, size_t n) const
 {
     panic_if(!keyed, "Aes128 used before setKey");
-    if (implChoice == AesImpl::Ttable) {
+    switch (implChoice) {
+      case AesImpl::Aesni:
+        detail::aesniEncryptBlocks(roundKeys, in, out, n);
+        return;
+      case AesImpl::Ttable:
         for (size_t i = 0; i < n; ++i)
             out[i] = encryptTtable(in[i]);
-    } else {
-        for (size_t i = 0; i < n; ++i)
-            out[i] = encryptReference(in[i]);
+        return;
+      case AesImpl::Reference:
+        break;
     }
+    for (size_t i = 0; i < n; ++i)
+        out[i] = encryptReference(in[i]);
 }
 
 Block128

@@ -8,14 +8,17 @@
  * 128-bit pad per cycle throughput, 15.1 mW, 0.204 mm^2) are captured as
  * constants here and consumed by the timing model.
  *
- * Two encryption implementations are provided:
- *  - Ttable: the hot path. The 32-bit T-table formulation fuses
- *    SubBytes, ShiftRows and MixColumns into four table lookups and
- *    three XORs per column per round. The tables are generated at
+ * Three encryption implementations are provided:
+ *  - Aesni: hardware AES via the x86 AES-NI instructions, with 4/8-wide
+ *    pipelined batches in encryptBlocks. The default when the build
+ *    carries the instructions and the running CPU advertises them.
+ *  - Ttable: the portable hot path. The 32-bit T-table formulation
+ *    fuses SubBytes, ShiftRows and MixColumns into four table lookups
+ *    and three XORs per column per round. The tables are generated at
  *    compile time from the S-box, so no runtime initialization (and no
  *    initialization races) exist.
  *  - Reference: the byte-oriented FIPS-197 transcription, kept as the
- *    cross-checked oracle. Tests pin the Ttable output to it.
+ *    cross-checked oracle. Tests pin the other two paths to it.
  *
  * The simulated *hardware* is unchanged either way: implementation
  * choice only affects host throughput, never simulated timing.
@@ -51,11 +54,16 @@ struct AesEngineParams
 /** Host-side encryption implementation (identical ciphertexts). */
 enum class AesImpl
 {
-    /** Fused 32-bit T-table path (fast, the default). */
+    /** Fused 32-bit T-table path (the portable fast path). */
     Ttable,
     /** Byte-oriented FIPS-197 path (the cross-check oracle). */
     Reference,
+    /** x86 AES-NI hardware path (the default where available). */
+    Aesni,
 };
+
+/** Human-readable name for an implementation (matches the env values). */
+const char *aesImplName(AesImpl impl);
 
 /**
  * AES-128 with a fixed key set at construction (or via setKey).
@@ -65,6 +73,8 @@ class Aes128
 {
   public:
     using Key = Block128;
+    /** Expanded key schedule: 11 round keys of 16 bytes each. */
+    using RoundKeys = std::array<std::array<uint8_t, 16>, 11>;
 
     Aes128() = default;
     explicit Aes128(const Key &key) { setKey(key); }
@@ -86,28 +96,55 @@ class Aes128
     /** Decrypt one 16-byte block (inverse cipher). */
     Block128 decryptBlock(const Block128 &ciphertext) const;
 
-    /** Select the encryption implementation for this instance. */
-    void setImpl(AesImpl impl) { implChoice = impl; }
+    /**
+     * Select the encryption implementation for this instance.
+     * Requesting Aesni on a build or CPU without it warns and keeps
+     * the T-table path instead of faulting on the first aesenc.
+     */
+    void setImpl(AesImpl impl);
     AesImpl impl() const { return implChoice; }
 
     /**
-     * Process-wide default implementation: Ttable, unless the
-     * OBFUSMEM_AES_IMPL environment variable is set to "reference"
-     * (read once, so the choice is stable across threads).
+     * Process-wide default implementation, read once from the
+     * OBFUSMEM_AES_IMPL environment variable ("aesni", "ttable" or
+     * "reference"; stable across threads). Unset: Aesni when both the
+     * build and the running CPU support it, Ttable otherwise. An
+     * explicit "aesni" that cannot be honoured warns and falls back
+     * to Ttable.
      */
     static AesImpl defaultImpl();
+
+    /** True when the binary contains AES-NI code and the CPU runs it. */
+    static bool aesniAvailable();
 
   private:
     Block128 encryptTtable(const Block128 &plaintext) const;
     Block128 encryptReference(const Block128 &plaintext) const;
 
-    /** Expanded round keys: 11 round keys of 16 bytes. */
-    std::array<std::array<uint8_t, 16>, 11> roundKeys{};
+    /** Expanded round keys (byte layout, shared by all impls). */
+    RoundKeys roundKeys{};
     /** The same schedule as little-endian column words (T-table path). */
     std::array<std::array<uint32_t, 4>, 11> roundKeyWords{};
     AesImpl implChoice = defaultImpl();
     bool keyed = false;
 };
+
+namespace detail {
+
+/**
+ * AES-NI entry points, defined in aes128_aesni.cc — the only
+ * translation unit built with -maes, so no intrinsics appear in this
+ * header. When the build gates AES-NI off (-DOBFUSMEM_DISABLE_AESNI=ON
+ * or a non-x86 target) these compile to panicking stubs and
+ * aesniCompiledIn() reports false, which keeps the dispatch honest.
+ */
+bool aesniCompiledIn();
+Block128 aesniEncryptBlock(const Aes128::RoundKeys &schedule,
+                           const Block128 &plaintext);
+void aesniEncryptBlocks(const Aes128::RoundKeys &schedule,
+                        const Block128 *in, Block128 *out, size_t n);
+
+} // namespace detail
 
 } // namespace crypto
 } // namespace obfusmem

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CPUID feature probing.
+ */
+
+#include "crypto/cpu_features.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace obfusmem {
+namespace crypto {
+
+namespace {
+
+bool
+probeAesni()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return false;
+    return (ecx & (1u << 25)) != 0; // CPUID.1:ECX.AESNI
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+cpuHasAesni()
+{
+    static const bool has = probeAesni();
+    return has;
+}
+
+} // namespace crypto
+} // namespace obfusmem

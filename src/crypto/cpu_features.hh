@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Runtime CPU feature probes for the crypto fast paths.
+ *
+ * Compile-time support (the binary carries AES-NI code at all) and
+ * runtime support (this machine's CPUID advertises the instructions)
+ * are separate questions: a binary built with the AES-NI translation
+ * unit may land on a CPU without the extension, and the dispatch in
+ * Aes128 must then fall back to the T-table path instead of faulting
+ * on the first aesenc.
+ */
+
+#ifndef OBFUSMEM_CRYPTO_CPU_FEATURES_HH
+#define OBFUSMEM_CRYPTO_CPU_FEATURES_HH
+
+namespace obfusmem {
+namespace crypto {
+
+/**
+ * True when the running CPU advertises the AES instruction set
+ * (CPUID leaf 1, ECX bit 25 on x86). Always false on non-x86 hosts.
+ * The probe runs once; the latched answer is stable across threads.
+ */
+bool cpuHasAesni();
+
+} // namespace crypto
+} // namespace obfusmem
+
+#endif // OBFUSMEM_CRYPTO_CPU_FEATURES_HH

@@ -41,6 +41,12 @@ AesCtr::genPads(uint64_t counter, Block128 *out, size_t n) const
     aes.encryptBlocks(out, out, n);
 }
 
+void
+AesCtr::padsForIvs(const Block128 *ivs, Block128 *out, size_t n) const
+{
+    aes.encryptBlocks(ivs, out, n);
+}
+
 uint64_t
 AesCtr::applyKeystream(uint8_t *buf, size_t len, uint64_t counter) const
 {

@@ -59,6 +59,15 @@ class AesCtr
     uint64_t applyKeystream(uint8_t *buf, size_t len,
                             uint64_t counter) const;
 
+    /**
+     * Batch-encrypt caller-built IVs into pads, for consumers whose
+     * IV layout is not this stream's nonce||counter (the memory
+     * encryption engine packs page/block counters instead - see
+     * MemoryEncryptionIv). `ivs` and `out` may alias.
+     */
+    void padsForIvs(const Block128 *ivs, Block128 *out,
+                    size_t n) const;
+
   private:
     Aes128 aes;
     uint64_t nonce = 0;

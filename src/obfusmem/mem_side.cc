@@ -25,6 +25,10 @@ ObfusMemMemSide::ObfusMemMemSide(const std::string &name,
       bus(bus_), pcm(pcm_), store(store_), dummyBlockAddr(dummy_addr),
       junkRng(0x5eed0000 + channel_id)
 {
+    reqPads.configure(rxCipher, countersPerRequestGroup,
+                      params.padPrefetchDepth, &padPrefetch);
+    replyPads.configure(txCipher, countersPerReply,
+                        params.padPrefetchDepth, &padPrefetch);
     stats().addScalar("realReads", &realReads,
                       "real read requests forwarded to PCM");
     stats().addScalar("realWrites", &realWrites,
@@ -41,6 +45,18 @@ ObfusMemMemSide::ObfusMemMemSide(const std::string &name,
                       "undecryptable headers (counter desync)");
     stats().addScalar("padsUsed", &padsUsed,
                       "128-bit pads consumed by this controller");
+    padPrefetch.regStats(stats());
+}
+
+void
+ObfusMemMemSide::schedulePadRefill()
+{
+    // Zero-delay refills between protocol events: no simulated state
+    // is read or written, so wire traffic and timing are untouched.
+    if (reqPads.shouldScheduleRefill())
+        scheduleAfter(0, [this]() { reqPads.refill(); });
+    if (replyPads.shouldScheduleRefill())
+        scheduleAfter(0, [this]() { replyPads.refill(); });
 }
 
 void
@@ -70,13 +86,15 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
                         CounterStream::Request, hdr_ctr, count);
     }
 
-    // Batch-generate the whole group's pads when its first message
-    // arrives; the second message reuses the cache. A counter skew
-    // (skewRequestCounter) invalidates the cache so desync behaves
+    // Stage the whole group's pads when its first message arrives;
+    // the second message reuses the staging. The prefetch ring
+    // normally has the group ready, and a miss batch-generates the
+    // identical bytes on the spot. A counter skew
+    // (skewRequestCounter) invalidates both so desync behaves
     // exactly as pad-by-pad generation would.
     if (groupPhase == 0 || !groupPadsValid) {
-        rxCipher.genPads(reqCounter, groupPads.data(),
-                         groupPads.size());
+        reqPads.take(reqCounter, groupPads.data());
+        schedulePadRefill();
         groupPadsValid = true;
     }
 
@@ -238,7 +256,9 @@ ObfusMemMemSide::sendReadReply(const WireHeader &req_hdr,
     hdr.tag = req_hdr.tag;
     hdr.dummy = req_hdr.dummy;
 
-    const ReplyPads pads = genReplyPads(txCipher, ctr);
+    ReplyPads pads;
+    replyPads.take(ctr, pads.pad.data());
+    schedulePadRefill();
     WireMessage msg;
     msg.cipherHeader = encryptHeaderWithPad(pads.header(), hdr);
     msg.hasData = true;

@@ -20,6 +20,7 @@
 #include "mem/pcm_controller.hh"
 #include "obfusmem/params.hh"
 #include "obfusmem/wire_format.hh"
+#include "secure/pad_prefetcher.hh"
 #include "sim/sim_object.hh"
 #include "util/random.hh"
 
@@ -67,8 +68,10 @@ class ObfusMemMemSide : public SimObject
         reqCounter += delta;
         // Any cached group pads were generated from the old counter;
         // drop them so the next message decrypts (and fails) exactly
-        // as it would have without the cache.
+        // as it would have without the cache. The prefetch ring holds
+        // pads for the unskewed sequence for the same reason.
         groupPadsValid = false;
+        reqPads.invalidate();
     }
 
     /** Attach the trace auditor's endpoint hook (may be null). */
@@ -85,6 +88,9 @@ class ObfusMemMemSide : public SimObject
                        const DataBlock &plain_data, uint64_t hdr_ctr);
     void sendReadReply(const WireHeader &req_hdr,
                        const DataBlock &data);
+
+    /** Schedule zero-delay refills for depleted pad rings. */
+    void schedulePadRefill();
 
     ObfusMemParams params;
     unsigned channel;
@@ -111,6 +117,11 @@ class ObfusMemMemSide : public SimObject
     std::array<crypto::Block128, countersPerRequestGroup> groupPads{};
     bool groupPadsValid = false;
     uint64_t respCounter = 0;
+
+    /** Counter-ahead rings feeding the group staging and replies. */
+    PadPrefetcher reqPads;
+    PadPrefetcher replyPads;
+    PadPrefetchStats padPrefetch;
 
     statistics::Scalar realReads, realWrites;
     statistics::Scalar dummyReadsAnswered, dummyWritesDropped;

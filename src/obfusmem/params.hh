@@ -8,6 +8,7 @@
 #define OBFUSMEM_OBFUSMEM_PARAMS_HH
 
 #include "obfusmem/mac_engine.hh"
+#include "secure/pad_prefetcher.hh"
 #include "sim/types.hh"
 
 namespace obfusmem {
@@ -53,6 +54,15 @@ struct ObfusMemParams
      * split scheme wins under load.
      */
     bool uniformPackets = false;
+
+    /**
+     * Counter-ahead pad prefetch depth, in pad groups per counter
+     * stream (0 disables). Pads are pure functions of (key, counter),
+     * so the depth cannot change anything on the wire - it only moves
+     * host-side AES work off the protocol path into batched refills.
+     * Default from OBFUSMEM_PAD_PREFETCH.
+     */
+    unsigned padPrefetchDepth = defaultPadPrefetchDepth();
 
     /** Session Key Table lookup (one core cycle). */
     Tick keyTableLatency = 500;

@@ -31,6 +31,10 @@ ObfusMemProcSide::ObfusMemProcSide(
         cs.rx.setKey(session_keys[c], 2ull * c + 1);
         cs.bus = buses[c];
         cs.dummyAddr = dummy_addrs[c];
+        cs.txPads.configure(cs.tx, countersPerRequestGroup,
+                            params.padPrefetchDepth, &padPrefetch);
+        cs.rxPads.configure(cs.rx, countersPerReply,
+                            params.padPrefetchDepth, &padPrefetch);
     }
 
     stats().addScalar("realReads", &realReads, "real reads sent");
@@ -53,6 +57,25 @@ ObfusMemProcSide::ObfusMemProcSide(
                       "channel-fill dummies replaced by real writes");
     stats().addScalar("pairSubstitutions", &pairSubstitutions,
                       "paired dummy writes replaced by real writes");
+    padPrefetch.regStats(stats());
+}
+
+void
+ObfusMemProcSide::schedulePadRefill(unsigned channel)
+{
+    // Refills run from zero-delay events between protocol events (the
+    // host analogue of idle AES-pipeline cycles). They read no
+    // simulated state and emit no messages, so neither wire traffic
+    // nor timing can change; only where the host pays for AES moves.
+    ChannelState &cs = channelState[channel];
+    if (cs.txPads.shouldScheduleRefill()) {
+        scheduleAfter(0,
+            [this, channel]() { channelState[channel].txPads.refill(); });
+    }
+    if (cs.rxPads.shouldScheduleRefill()) {
+        scheduleAfter(0,
+            [this, channel]() { channelState[channel].rxPads.refill(); });
+    }
 }
 
 void
@@ -238,8 +261,11 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
                    countersPerRequestGroup - 1);
     }
 
-    // One batched AES call produces every pad the group will consume.
-    const GroupPads pads = genGroupPads(cs.tx, ctr);
+    // The prefetch ring usually has the group's pads already; a miss
+    // batch-generates them on the spot (same bytes either way).
+    GroupPads pads;
+    cs.txPads.take(ctr, pads.pad.data());
+    schedulePadRefill(channel);
 
     if (params.uniformPackets) {
         // One fixed-size message per request; every request expects a
@@ -449,7 +475,9 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
                    countersPerRequestGroup - 1);
     }
 
-    const GroupPads pads = genGroupPads(cs.tx, ctr);
+    GroupPads pads;
+    cs.txPads.take(ctr, pads.pad.data());
+    schedulePadRefill(channel);
 
     if (params.uniformPackets) {
         // One uniform dummy read message fills the channel.
@@ -574,7 +602,9 @@ ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
     notifyPads(channel, CounterStream::Response, ctr,
                countersPerReply);
 
-    const ReplyPads pads = genReplyPads(cs.rx, ctr);
+    ReplyPads pads;
+    cs.rxPads.take(ctr, pads.pad.data());
+    schedulePadRefill(channel);
     std::optional<WireHeader> hdr =
         decryptHeaderWithPad(pads.header(), msg.cipherHeader);
     if (!hdr) {

@@ -23,6 +23,7 @@
 #include "mem/packet.hh"
 #include "obfusmem/params.hh"
 #include "obfusmem/wire_format.hh"
+#include "secure/pad_prefetcher.hh"
 #include "sim/sim_object.hh"
 #include "util/random.hh"
 
@@ -88,6 +89,9 @@ class ObfusMemProcSide : public SimObject, public MemSink
     skewResponseCounter(unsigned channel, uint64_t delta)
     {
         channelState[channel].respCounter += delta;
+        // The ring holds pads for the unskewed counter sequence; drop
+        // them so desync is detected exactly as without prefetching.
+        channelState[channel].rxPads.invalidate();
     }
 
     /** Attach the trace auditor's endpoint hook (may be null). */
@@ -126,6 +130,9 @@ class ObfusMemProcSide : public SimObject, public MemSink
          * epoch slot, and whether the heartbeat is running. */
         std::deque<QueuedWrite> epochQueue;
         bool heartbeatActive = false;
+        /** Counter-ahead pad rings for the two counter streams. */
+        PadPrefetcher txPads;
+        PadPrefetcher rxPads;
     };
 
     /** Send one request group (real + paired dummy) on a channel. */
@@ -152,6 +159,9 @@ class ObfusMemProcSide : public SimObject, public MemSink
     /** Put one message on a channel's bus. */
     void transmit(unsigned channel, WireMessage msg);
 
+    /** Schedule zero-delay refills for a channel's depleted rings. */
+    void schedulePadRefill(unsigned channel);
+
     uint64_t dummyAddrFor(unsigned channel, uint64_t real_addr);
     uint16_t allocTag(ChannelState &cs);
 
@@ -175,6 +185,7 @@ class ObfusMemProcSide : public SimObject, public MemSink
     statistics::Scalar forwardedFromWriteQueue;
     statistics::Scalar realFillSubstitutions;
     statistics::Scalar pairSubstitutions;
+    PadPrefetchStats padPrefetch;
 };
 
 } // namespace obfusmem

@@ -5,9 +5,9 @@
 
 #include "runner/sweep.hh"
 
-#include <cstdlib>
-#include <string>
 #include <thread>
+
+#include "util/env.hh"
 
 namespace obfusmem {
 namespace runner {
@@ -16,16 +16,9 @@ unsigned
 jobsFromEnv()
 {
     static const unsigned jobs = [] {
-        const char *env = std::getenv("OBFUSMEM_BENCH_JOBS");
-        if (!env || !*env)
-            return 1u;
-        unsigned long parsed = 0;
-        try {
-            parsed = std::stoul(env);
-        } catch (...) {
-            return 1u;
-        }
+        uint64_t parsed = env::u64("OBFUSMEM_BENCH_JOBS", 1);
         if (parsed == 0) {
+            // 0 means "one job per hardware thread".
             unsigned hw = std::thread::hardware_concurrency();
             return hw ? hw : 1u;
         }

@@ -20,7 +20,7 @@ MemoryEncryptionEngine::MemoryEncryptionEngine(
     : SimObject(name, eq, parent), params(params_), inner(inner_),
       dataCapacity(data_capacity),
       counterRegionBase(counter_region_base),
-      bmtRegionBase(bmt_region_base), aes(key),
+      bmtRegionBase(bmt_region_base), padSource(key, 0),
       tree(data_capacity / params_.pageBytes, 4,
            freshPageDigest(params_.pageBytes)),
       counterCache(CacheParams{params_.counterCacheBytes,
@@ -55,6 +55,8 @@ MemoryEncryptionEngine::MemoryEncryptionEngine(
                       "data blocks decrypted on the read path");
     stats().addScalar("forwardedReads", &forwardedReads,
                       "reads served from an in-flight write");
+    padMemo.configure(params.padMemoEntries);
+    padMemo.regStats(stats());
 }
 
 MemoryEncryptionEngine::PageCounters &
@@ -89,6 +91,8 @@ MemoryEncryptionEngine::padsFor(uint64_t addr, const PageCounters &ctrs,
     iv.minorCounter = ctrs.minors[block_idx];
     iv.majorCounter = ctrs.major;
     crypto::Block128 base = iv.pack();
+    if (padMemo.lookup(base, out))
+        return;
     for (unsigned i = 0; i < 4; ++i) {
         out[i] = base;
         // Sub-block index occupies a byte the IV layout leaves free.
@@ -96,7 +100,8 @@ MemoryEncryptionEngine::padsFor(uint64_t addr, const PageCounters &ctrs,
         out[i][10] ^= static_cast<uint8_t>(i);
     }
     // One batched pass over the four sub-block IVs (in place).
-    aes.encryptBlocks(out, out, 4);
+    padSource.padsForIvs(out, out, 4);
+    padMemo.insert(base, out);
 }
 
 DataBlock

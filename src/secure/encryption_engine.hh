@@ -22,10 +22,10 @@
 #include <vector>
 
 #include "cpu/cache_hierarchy.hh"
-#include "crypto/aes128.hh"
 #include "crypto/ctr_mode.hh"
 #include "mem/packet.hh"
 #include "secure/merkle.hh"
+#include "secure/pad_prefetcher.hh"
 #include "sim/sim_object.hh"
 
 namespace obfusmem {
@@ -68,6 +68,15 @@ struct EncryptionParams
     unsigned bmtCacheAssoc = 8;
 
     uint64_t pageBytes = 4096;
+
+    /**
+     * IV-keyed pad memo entries (0 disables). Pads are pure functions
+     * of the block's IV, so the memo reuses AES work across repeated
+     * reads of a block between counter bumps without any visible
+     * effect on ciphertexts. Follows the pad-prefetch knob so
+     * OBFUSMEM_PAD_PREFETCH=0 yields a fully on-demand build.
+     */
+    unsigned padMemoEntries = defaultPadPrefetchDepth() ? 256u : 0u;
 };
 
 /**
@@ -195,7 +204,14 @@ class MemoryEncryptionEngine : public SimObject, public MemSink
     uint64_t counterRegionBase;
     uint64_t bmtRegionBase;
 
-    crypto::Aes128 aes;
+    /**
+     * Pad source for the engine's page/block-counter IVs. Routed
+     * through AesCtr's IV passthrough so the crypto dispatch (and the
+     * AES-NI batch path) stays behind one construction site in
+     * crypto/, with a memo in front for repeated reads.
+     */
+    crypto::AesCtr padSource;
+    mutable IvPadMemo padMemo;
     std::unordered_map<uint64_t, PageCounters> counters;
     MerkleTree tree;
     /** Block offset of each interior level in the BMT region. */

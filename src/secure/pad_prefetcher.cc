@@ -1,0 +1,177 @@
+/**
+ * @file
+ * PadPrefetcher / IvPadMemo implementation.
+ */
+
+#include "secure/pad_prefetcher.hh"
+
+#include <algorithm>
+
+#include "util/assert.hh"
+
+namespace obfusmem {
+
+void
+PadPrefetchStats::regStats(statistics::Group &g)
+{
+    g.addScalar("padPrefetchHits", &hits,
+                "pad groups served from the prefetch ring");
+    g.addScalar("padPrefetchMisses", &misses,
+                "pad groups generated on demand");
+    g.addScalar("padPrefetchRefills", &refills,
+                "batched ring refill passes");
+    g.addScalar("padPrefetchInvalidations", &invalidations,
+                "rings dropped on counter skew");
+    g.addScalar("padsPrefetched", &padsPrefetched,
+                "pads generated ahead of their use");
+}
+
+void
+PadPrefetcher::configure(const crypto::AesCtr &cipher_,
+                         size_t pads_per_group, size_t depth_groups,
+                         PadPrefetchStats *stats_)
+{
+    OBF_ASSERT(pads_per_group > 0, "empty pad group");
+    cipher = &cipher_;
+    groupSize = pads_per_group;
+    depth = depth_groups;
+    stats = stats_;
+    ring.assign(depth * groupSize, crypto::Block128{});
+    head = 0;
+    cached = 0;
+    refillPending = false;
+}
+
+void
+PadPrefetcher::take(uint64_t counter, crypto::Block128 *out)
+{
+    if (!enabled()) {
+        cipher->genPads(counter, out, groupSize);
+        return;
+    }
+    if (cached > 0 && counter == headCounter) {
+        std::copy_n(&ring[head * groupSize], groupSize, out);
+        head = (head + 1) % depth;
+        headCounter += groupSize;
+        --cached;
+        ++stats->hits;
+        return;
+    }
+    // First use, or the consumer's counter moved under us: generate
+    // this group directly and reposition the (now empty) window right
+    // behind it so the next refill runs ahead again.
+    ++stats->misses;
+    cached = 0;
+    head = 0;
+    headCounter = counter + groupSize;
+    cipher->genPads(counter, out, groupSize);
+}
+
+bool
+PadPrefetcher::shouldScheduleRefill()
+{
+    if (!enabled() || refillPending || cached == depth)
+        return false;
+    refillPending = true;
+    return true;
+}
+
+void
+PadPrefetcher::refill()
+{
+    refillPending = false;
+    if (!enabled() || cached == depth)
+        return;
+    if (cached == 0) {
+        // Empty ring (startup or post-skew): headCounter already
+        // points at the next group the consumer will request.
+        head = 0;
+    }
+    // The empty tail is contiguous in counter space; it wraps the
+    // ring at most once, so at most two batched AES calls fill it.
+    size_t want = depth - cached;
+    uint64_t ctr = headCounter + cached * groupSize;
+    size_t slot = (head + cached) % depth;
+    size_t first = std::min(want, depth - slot);
+    cipher->genPads(ctr, &ring[slot * groupSize], first * groupSize);
+    if (want > first) {
+        cipher->genPads(ctr + first * groupSize, ring.data(),
+                        (want - first) * groupSize);
+    }
+    cached = depth;
+    ++stats->refills;
+    stats->padsPrefetched += static_cast<double>(want * groupSize);
+}
+
+void
+PadPrefetcher::invalidate()
+{
+    if (cached > 0 && stats)
+        ++stats->invalidations;
+    cached = 0;
+    head = 0;
+}
+
+void
+IvPadMemo::configure(size_t entries)
+{
+    if (entries == 0) {
+        table.clear();
+        mask = 0;
+        return;
+    }
+    size_t size = 1;
+    while (size < entries)
+        size <<= 1;
+    table.assign(size, Entry{});
+    mask = size - 1;
+}
+
+void
+IvPadMemo::regStats(statistics::Group &g)
+{
+    g.addScalar("padMemoHits", &hitCount,
+                "memory-encryption pad sets reused from the memo");
+    g.addScalar("padMemoMisses", &missCount,
+                "memory-encryption pad sets computed");
+}
+
+size_t
+IvPadMemo::indexOf(const crypto::Block128 &iv) const
+{
+    uint64_t h = crypto::loadLe64(iv.data()) * 0x9e3779b97f4a7c15ull
+                 ^ crypto::loadLe64(iv.data() + 8);
+    h ^= h >> 29;
+    return static_cast<size_t>(h) & mask;
+}
+
+bool
+IvPadMemo::lookup(const crypto::Block128 &iv, crypto::Block128 out[4])
+{
+    if (table.empty()) {
+        ++missCount;
+        return false;
+    }
+    const Entry &e = table[indexOf(iv)];
+    if (!e.valid || e.iv != iv) {
+        ++missCount;
+        return false;
+    }
+    ++hitCount;
+    std::copy_n(e.pads.data(), 4, out);
+    return true;
+}
+
+void
+IvPadMemo::insert(const crypto::Block128 &iv,
+                  const crypto::Block128 pads[4])
+{
+    if (table.empty())
+        return;
+    Entry &e = table[indexOf(iv)];
+    e.iv = iv;
+    std::copy_n(pads, 4, e.pads.data());
+    e.valid = true;
+}
+
+} // namespace obfusmem

@@ -7,10 +7,9 @@
 #include "sim/event_queue.hh"
 
 #include <bit>
-#include <cstdlib>
-#include <cstring>
 
 #include "util/assert.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace obfusmem {
@@ -18,12 +17,10 @@ namespace obfusmem {
 EvqImpl
 EventQueue::defaultImpl()
 {
-    static const EvqImpl choice = [] {
-        const char *env = std::getenv("OBFUSMEM_EVQ_IMPL");
-        if (env && std::strcmp(env, "heap") == 0)
-            return EvqImpl::Heap;
-        return EvqImpl::Wheel;
-    }();
+    static const EvqImpl choice =
+        env::choice("OBFUSMEM_EVQ_IMPL", {"wheel", "heap"}, 0) == 1
+            ? EvqImpl::Heap
+            : EvqImpl::Wheel;
     return choice;
 }
 

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Centralized parsing of the OBFUSMEM_* environment knobs.
+ *
+ * Every knob used to hand-roll its own std::getenv + conversion
+ * (aes128, event_queue, the sweep runner, the benches), with silently
+ * divergent behavior on malformed values. These helpers give one
+ * place for the conventions: values are read once per knob (stable
+ * across threads, like the existing defaultImpl() latches), invalid
+ * values warn once and fall back to the documented default, and an
+ * empty string counts as unset.
+ */
+
+#ifndef OBFUSMEM_UTIL_ENV_HH
+#define OBFUSMEM_UTIL_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "util/logging.hh"
+
+namespace obfusmem {
+namespace env {
+
+/** Raw value of a knob, or nullptr when unset or empty. */
+inline const char *
+raw(const char *name)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? v : nullptr;
+}
+
+/** Boolean knob: true when set to any non-empty value. */
+inline bool
+flag(const char *name)
+{
+    return raw(name) != nullptr;
+}
+
+/**
+ * Unsigned integer knob. Warns (once per call site pattern is not
+ * tracked; callers latch the result) and returns @p def on a value
+ * that is not a plain non-negative decimal number.
+ */
+inline uint64_t
+u64(const char *name, uint64_t def)
+{
+    const char *v = raw(name);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || v[0] == '-') {
+        warn(name, "=\"", v, "\" is not a valid number; using default ",
+             def);
+        return def;
+    }
+    return parsed;
+}
+
+/**
+ * Enumerated knob: returns the index of @p value's match in
+ * @p allowed, or @p def_index after warning when the value is set
+ * but matches nothing. Index 0..n-1 follows the order of @p allowed.
+ */
+inline size_t
+choice(const char *name, std::initializer_list<const char *> allowed,
+       size_t def_index)
+{
+    const char *v = raw(name);
+    if (!v)
+        return def_index;
+    size_t i = 0;
+    for (const char *a : allowed) {
+        if (std::string_view(v) == a)
+            return i;
+        ++i;
+    }
+    std::string options;
+    for (const char *a : allowed) {
+        if (!options.empty())
+            options += ", ";
+        options += a;
+    }
+    warn(name, "=\"", v, "\" is not one of {", options,
+         "}; using the default");
+    return def_index;
+}
+
+} // namespace env
+} // namespace obfusmem
+
+#endif // OBFUSMEM_UTIL_ENV_HH

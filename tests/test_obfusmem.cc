@@ -411,6 +411,185 @@ TEST(ObfusMem, TimingObliviousFunctional)
     EXPECT_EQ(sys.functionalRead(0xb000), data);
 }
 
+// --- Counter-ahead pad prefetch (host-side optimization) ------------
+
+namespace {
+
+/** Records every field the wires expose, message by message. */
+struct WireRecorder : public BusProbe
+{
+    struct Rec
+    {
+        Tick when;
+        BusDir dir;
+        uint32_t bytes;
+        uint64_t wireAddr;
+        bool wireIsWrite;
+        unsigned channel;
+
+        bool operator==(const Rec &) const = default;
+    };
+
+    std::vector<Rec> trace;
+
+    void
+    observe(const BusSnoop &s) override
+    {
+        trace.push_back({s.when, s.dir, s.bytes, s.wireAddr,
+                         s.wireIsWrite, s.channel});
+    }
+};
+
+struct RecordedRun
+{
+    std::vector<WireRecorder::Rec> trace;
+    /** At-rest ciphertext of hand-stored blocks (the payload bytes). */
+    std::vector<DataBlock> ciphertexts;
+    Tick execTicks;
+};
+
+/** The same workload under an explicit pad-prefetch depth. */
+RecordedRun
+recordedRun(unsigned prefetch_depth)
+{
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.padPrefetchDepth = prefetch_depth;
+    cfg.encryption.padMemoEntries = prefetch_depth ? 256 : 0;
+    System sys(cfg);
+    WireRecorder rec;
+    for (auto &bus : sys.channelBuses())
+        bus->attachProbe(&rec);
+
+    RecordedRun out;
+    out.execTicks = sys.run().execTicks;
+    for (uint8_t i = 0; i < 16; ++i) {
+        sys.timedStore(0, 0x30000 + i * 64ull, patternBlock(i),
+                       [](Tick) {});
+    }
+    sys.eventQueue().run();
+    sys.flushAndDrain();
+    for (uint8_t i = 0; i < 16; ++i)
+        out.ciphertexts.push_back(
+            sys.backingStore().read(0x30000 + i * 64ull));
+    out.trace = std::move(rec.trace);
+    return out;
+}
+
+} // namespace
+
+TEST(PadPrefetch, WireTrafficBitIdenticalOnVsOff)
+{
+    // The prefetcher only moves pad generation earlier in host time;
+    // pads are pure functions of (key, counter), so every message's
+    // timing, size, direction and ciphertext header bits must be
+    // byte-for-byte identical with the pipeline on and off — and so
+    // must the at-rest ciphertext (the payload bytes that crossed).
+    RecordedRun off = recordedRun(0);
+    RecordedRun on = recordedRun(8);
+
+    ASSERT_GT(off.trace.size(), 100u);
+    ASSERT_EQ(off.trace.size(), on.trace.size());
+    for (size_t i = 0; i < off.trace.size(); ++i) {
+        ASSERT_TRUE(off.trace[i] == on.trace[i])
+            << "wire message " << i << " differs (tick "
+            << off.trace[i].when << " vs " << on.trace[i].when << ")";
+    }
+    EXPECT_EQ(off.execTicks, on.execTicks);
+    EXPECT_EQ(off.ciphertexts, on.ciphertexts);
+}
+
+TEST(PadPrefetch, PrefetchedRunStaysFunctional)
+{
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.padPrefetchDepth = 8;
+    System sys(cfg);
+    DataBlock data = patternBlock(0x55);
+    sys.timedStore(0, 0xc000, data, [](Tick) {});
+    sys.eventQueue().run();
+    sys.flushAndDrain();
+    EXPECT_EQ(sys.functionalRead(0xc000), data);
+
+    auto r = sys.run();
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_EQ(sys.memSides()[0]->desyncEvents(), 0u);
+    EXPECT_GT(sys.procSide()->stats().scalarValue("padPrefetchHits"),
+              0.0);
+}
+
+TEST(PadPrefetch, CounterSkewStillDetectedWithPrefetchOn)
+{
+    // The prefetch ring must not mask a desync: skewing the memory-
+    // side request counter invalidates staged pads on that side, and
+    // the processor's (prefetched) pads now decrypt the attacker-
+    // shifted stream to garbage exactly as before.
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.padPrefetchDepth = 8;
+    System sys(cfg);
+    DataBlock data = patternBlock(2);
+    sys.timedStore(0, 0x5000, data, [](Tick) {});
+    sys.eventQueue().run();
+    sys.flushAndDrain();
+
+    sys.memSides()[0]->skewRequestCounter(6);
+    bool completed = false;
+    sys.timedLoad(0, 0x40000000, [&](Tick) { completed = true; });
+    sys.eventQueue().run();
+    EXPECT_FALSE(completed);
+    EXPECT_GE(sys.memSides()[0]->desyncEvents()
+                  + sys.memSides()[0]->tamperDetections(),
+              1u);
+}
+
+TEST(PadPrefetch, ReplySkewStillDetectedWithPrefetchOn)
+{
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.padPrefetchDepth = 8;
+    System sys(cfg);
+    sys.procSide()->skewResponseCounter(0, 5);
+    bool completed = false;
+    sys.timedLoad(0, 0x40000000, [&](Tick) { completed = true; });
+    sys.eventQueue().run();
+    EXPECT_FALSE(completed);
+    EXPECT_GE(sys.procSide()->desyncEvents()
+                  + sys.procSide()->tamperDetections(),
+              1u);
+}
+
+TEST(PadPrefetch, AuditorStaysCleanWithPrefetchOn)
+{
+    // The trace auditor checks the paper's obliviousness invariants
+    // from the attacker's vantage point; the prefetch pipeline must
+    // be invisible to it.
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.padPrefetchDepth = 8;
+    cfg.attachAuditor = true;
+    System sys(cfg);
+    sys.run();
+    ASSERT_NE(sys.auditor(), nullptr);
+    EXPECT_TRUE(sys.auditor()->finalize());
+    EXPECT_EQ(sys.auditor()->totalViolations(), 0u);
+}
+
+TEST(PadPrefetch, AuditorStillFlagsTamperWithPrefetchOn)
+{
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.padPrefetchDepth = 8;
+    cfg.attachAuditor = true;
+    System sys(cfg);
+    DataBlock data = patternBlock(3);
+    sys.timedStore(0, 0x5000, data, [](Tick) {});
+    sys.eventQueue().run();
+    sys.flushAndDrain();
+
+    sys.memSides()[0]->skewRequestCounter(6);
+    sys.timedLoad(0, 0x40000000, [](Tick) {});
+    sys.eventQueue().run();
+    sys.auditor()->finalize();
+    EXPECT_GE(sys.auditor()->violationCountFor(
+                  check::Invariant::EndpointIncident),
+              1u);
+}
+
 TEST(ObfusMem, TimingObliviousPacesTheWire)
 {
     SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);

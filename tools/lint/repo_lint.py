@@ -21,6 +21,13 @@ know about:
                   `pkt` capture silently reintroduces a copy (and a
                   heap allocation) per hop. Capture with std::move, by
                   reference, or carry a PacketPool handle.
+  aes-dispatch    a direct Aes128 object in src/ outside src/crypto/:
+                  raw block-cipher use bypasses the runtime AES
+                  implementation dispatch (aesni/ttable/reference) and
+                  the counter-mode pad plumbing that the prefetch
+                  pipeline and the trace auditor's pad ledgers hang
+                  off. Consume AesCtr / PadPrefetcher / IvPadMemo
+                  instead; nested types (Aes128::Key) stay fine.
 
 Exit status is the number of findings (0 == clean). Run from anywhere;
 paths resolve relative to the repo root. `--self-test` checks the
@@ -61,6 +68,12 @@ GUARD_RE = re.compile(r"^#ifndef\s+(\w+)", re.MULTILINE)
 # (`queue[i] = x`) out of scope.
 LAMBDA_CAPTURE_RE = re.compile(r"\[([^\[\]]*)\]\s*(?:\(|\{|mutable\b)")
 PKT_NAME_RE = re.compile(r"\b\w*pkt\w*\b", re.IGNORECASE)
+
+# `Aes128` as the raw cipher type (constructed, declared, or passed),
+# as opposed to a nested type like Aes128::Key / Aes128::RoundKeys.
+AES_DIRECT_RE = re.compile(r"\b(?:crypto\s*::\s*)?Aes128\b(?!\s*::)")
+AES_ALLOWED = ("src/crypto/",)
+COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
 
 
 def finding(path, line_no, rule, message):
@@ -158,6 +171,22 @@ def lint_packet_capture(rel, text):
                 "or carry a PacketPool handle"
 
 
+def lint_aes_dispatch(rel, lines):
+    if not rel.startswith("src/"):
+        return  # tests/bench exercise the raw cipher on purpose
+    if any(rel.startswith(p) for p in AES_ALLOWED):
+        return
+    for no, line in lines:
+        if COMMENT_RE.match(line):
+            continue
+        if AES_DIRECT_RE.search(line):
+            yield no, "aes-dispatch", \
+                "direct Aes128 use outside src/crypto/ bypasses the " \
+                "runtime AES dispatch and pad-prefetch plumbing; go " \
+                "through crypto::AesCtr (nested types like " \
+                "Aes128::Key are fine)"
+
+
 def lint_text(rel, text):
     """All findings for one file's contents (testable entry point)."""
     lines = [(i + 1, l) for i, l in enumerate(text.splitlines())
@@ -168,6 +197,7 @@ def lint_text(rel, text):
     out.extend(lint_key_scrub(rel, lines, text))
     out.extend(lint_include_guard(rel, text))
     out.extend(lint_packet_capture(rel, text))
+    out.extend(lint_aes_dispatch(rel, lines))
     return out
 
 
@@ -210,6 +240,13 @@ SELF_TEST_CASES = [
      "    scheduleAfter(t, [cb, resp = pkt]() mutable "
      "{ cb(std::move(resp)); });\n",
      "packet-capture"),
+    # The pre-prefetch EncryptionEngine held the block cipher raw.
+    ("src/secure/encryption_engine.hh",
+     "    crypto::Aes128 aes;\n",
+     "aes-dispatch"),
+    ("src/obfusmem/mem_side.cc",
+     "    Aes128 cipher(session_key);\n",
+     "aes-dispatch"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -231,6 +268,15 @@ SELF_TEST_CLEAN = [
      "        [&pkt](MemPacket &&resp) { pkt = std::move(resp); });\n"),
     ("src/mem/channel_bus.cc",
      "    pktQueue[channel] = {std::move(msg)};\n"),
+    # Nested types, crypto/-internal use and tests stay in scope.
+    ("src/obfusmem/proc_side.cc",
+     "    const std::vector<crypto::Aes128::Key> &session_keys;\n"),
+    ("src/crypto/ctr_mode.cc",
+     "    Aes128 aes;\n"),
+    ("tests/test_crypto_aes.cc",
+     "    Aes128 aes(key);\n"),
+    ("src/secure/encryption_engine.cc",
+     "    // pads come from Aes128 behind the AesCtr dispatch\n"),
 ]
 
 
