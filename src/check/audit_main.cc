@@ -12,7 +12,9 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "system/system.hh"
@@ -20,6 +22,36 @@
 using namespace obfusmem;
 
 namespace {
+
+/**
+ * Wire-trace dumper: one line per snooped bus message, exactly the
+ * attacker's view. CI diffs a recovery-on trace against a recovery-off
+ * trace of the same faultless run to prove the recovery layer is
+ * wire-invisible until a fault actually occurs.
+ */
+class TraceDumper : public BusProbe
+{
+  public:
+    explicit TraceDumper(const std::string &path) : out(path)
+    {
+        if (!out) {
+            std::cerr << "cannot open trace file: " << path << "\n";
+            std::exit(2);
+        }
+    }
+
+    void observe(const BusSnoop &snoop) override
+    {
+        out << snoop.when << ' '
+            << (snoop.dir == BusDir::ToMemory ? "toMem" : "toProc")
+            << ' ' << snoop.channel << ' ' << snoop.bytes << ' '
+            << (snoop.wireIsWrite ? 'W' : 'R') << ' ' << std::hex
+            << snoop.wireAddr << std::dec << '\n';
+    }
+
+  private:
+    std::ofstream out;
+};
 
 void
 usage(const char *argv0)
@@ -37,7 +69,12 @@ usage(const char *argv0)
         << "  --inject-drop     drop a request group in flight\n"
         << "  --inject-replay   lose a reply (replayed-stream model)\n"
         << "  --inject-tamper   bit-flip request headers in flight\n"
+        << "  --no-recovery     disable the link recovery protocol\n"
+        << "  --dump-trace F    write the snooped wire trace to F\n"
         << "  --stats           dump full statistics to stderr\n"
+        << "fault injection: OBFUSMEM_FAULT_{SEED,DROP,CORRUPT,DELAY,\n"
+        << "  DUP,DELAY_NS} env knobs feed a seeded bus fault "
+           "injector\n"
         << "exit status: 0 if every invariant held, 1 otherwise\n";
 }
 
@@ -54,10 +91,13 @@ main(int argc, char **argv)
     cfg.benchmark = "milc";
     cfg.attachAuditor = true;
 
+    cfg.faults = FaultInjector::Params::fromEnv();
+
     bool inject_drop = false;
     bool inject_replay = false;
     bool inject_tamper = false;
     bool dump_stats = false;
+    std::string trace_path;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -113,6 +153,10 @@ main(int argc, char **argv)
             inject_replay = true;
         } else if (arg == "--inject-tamper") {
             inject_tamper = true;
+        } else if (arg == "--no-recovery") {
+            cfg.obfusmem.recovery.enabled = false;
+        } else if (arg == "--dump-trace") {
+            trace_path = next_arg(i);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -134,6 +178,13 @@ main(int argc, char **argv)
     }
 
     System sys(cfg);
+
+    std::unique_ptr<TraceDumper> dumper;
+    if (!trace_path.empty()) {
+        dumper = std::make_unique<TraceDumper>(trace_path);
+        for (auto &bus : sys.channelBuses())
+            bus->attachProbe(dumper.get());
+    }
 
     if (inject_drop) {
         // An attacker deleting one request group: the memory side's

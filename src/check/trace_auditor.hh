@@ -120,6 +120,16 @@ class TraceAuditor : public BusProbe, public AuditHook
         size_t maxRecordedViolations = 64;
         /** warn() at the first violation while the run progresses. */
         bool warnOnline = true;
+        /**
+         * Fault-tolerant runs: endpoint incidents that the recovery
+         * protocol handles in-band (desync, MAC mismatch, discarded
+         * frames, resyncs, re-keys) are tallied but not violations —
+         * under injected faults they are the system *working*. A
+         * quarantine still always fires EndpointIncident: it means
+         * recovery gave up. The structural wire invariants are never
+         * relaxed.
+         */
+        bool tolerateRecoverableIncidents = false;
     };
 
     explicit TraceAuditor(const Params &params);
@@ -159,6 +169,9 @@ class TraceAuditor : public BusProbe, public AuditHook
 
     /** Messages audited from the wire tap. */
     uint64_t messagesAudited() const { return messages; }
+
+    /** Endpoint incidents tolerated as recoverable (fault runs). */
+    uint64_t toleratedIncidents() const { return tolerated; }
 
     /** Fraction of active buckets with exactly one busy channel. */
     double soloBucketFraction() const;
@@ -213,6 +226,7 @@ class TraceAuditor : public BusProbe, public AuditHook
     /** Per-invariant tallies, indexed by the Invariant enum. */
     uint64_t invariantCounts[8] = {};
     uint64_t messages = 0;
+    uint64_t tolerated = 0;
 
     uint64_t currentBucket = 0;
     uint32_t currentBucketMask = 0;

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "mem/fault_injector.hh"
 #include "util/assert.hh"
 
 namespace obfusmem {
@@ -36,7 +37,8 @@ ChannelBus::occupancy(uint32_t bytes) const
 
 void
 ChannelBus::send(BusDir dir, uint32_t bytes, uint64_t snoop_addr,
-                 bool snoop_is_write, std::function<void()> deliver)
+                 bool snoop_is_write,
+                 std::function<void(const BusFault &)> deliver)
 {
     OBF_ASSERT(deliver != nullptr, "bus message without a receiver");
     // A message is at most header + 64-byte payload + MAC; anything
@@ -77,10 +79,20 @@ ChannelBus::startNext()
     for (auto *p : probes)
         p->observe(snoop);
 
+    // Faults apply after the snoop: the transmitted burst was on the
+    // wires either way; only what the far end latches differs.
+    FaultDecision fd =
+        faults ? faults->decide(channel, msg.dir) : FaultDecision{};
+
     // The bus frees after the burst; propagation overlaps the next
     // message's burst.
-    Tick done = busy + params.propagationDelay;
-    scheduleAfter(done, std::move(msg.deliver));
+    Tick done = busy + params.propagationDelay + fd.extraDelay;
+    if (!fd.drop) {
+        BusFault fault{fd.corrupt, fd.duplicate, fd.entropy};
+        scheduleAfter(done, [d = std::move(msg.deliver), fault]() {
+            d(fault);
+        });
+    }
     scheduleAfter(busy, [this]() { startNext(); });
 }
 

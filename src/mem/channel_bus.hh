@@ -41,6 +41,25 @@ class BusProbe
     virtual void observe(const BusSnoop &snoop) = 0;
 };
 
+class FaultInjector;
+
+/**
+ * What happened to a message in flight, handed to the receiver at
+ * delivery. The wire already carried the original burst (the snoop
+ * fires before the fault is applied — an attacker injecting faults
+ * still saw the transmitted bytes), so corruption and duplication are
+ * modeled at the receiving pin: `corrupted` means the receiver
+ * latched a flipped bit, `duplicated` means the link retransmitted
+ * and the receiver latched the frame twice back-to-back.
+ */
+struct BusFault
+{
+    bool corrupted = false;
+    bool duplicated = false;
+    /** Deterministic entropy (e.g. which header bit flipped). */
+    uint64_t entropy = 0;
+};
+
 /**
  * One memory channel's exposed bus. Messages are serialized FIFO;
  * a message occupies the bus for bytes/bandwidth (plus a fixed
@@ -66,19 +85,24 @@ class ChannelBus : public SimObject
 
     /**
      * Transmit a message. `deliver` fires when the last byte arrives
-     * at the far end.
+     * at the far end; a dropped message never delivers.
      *
      * @param dir Direction of travel.
      * @param bytes Data-bus bytes the message occupies.
      * @param snoop_addr Address bits visible on the wires.
      * @param snoop_is_write Command bit visible on the wires.
-     * @param deliver Called at delivery time.
+     * @param deliver Called at delivery time with the fault verdict
+     *                (all-clear when no injector is attached).
      */
     void send(BusDir dir, uint32_t bytes, uint64_t snoop_addr,
-              bool snoop_is_write, std::function<void()> deliver);
+              bool snoop_is_write,
+              std::function<void(const BusFault &)> deliver);
 
     /** Attach a passive probe (attacker or analysis). */
     void attachProbe(BusProbe *probe) { probes.push_back(probe); }
+
+    /** Attach a fault source (nullptr detaches). Not owned. */
+    void setFaultInjector(FaultInjector *inj) { faults = inj; }
 
     /** True if nothing is in flight or queued. */
     bool idle() const { return !transferring && pending.empty(); }
@@ -95,7 +119,7 @@ class ChannelBus : public SimObject
         uint32_t bytes;
         uint64_t snoopAddr;
         bool snoopIsWrite;
-        std::function<void()> deliver;
+        std::function<void(const BusFault &)> deliver;
     };
 
     void startNext();
@@ -107,6 +131,7 @@ class ChannelBus : public SimObject
     std::deque<Tick> enqueueTicks;
     bool transferring = false;
     std::vector<BusProbe *> probes;
+    FaultInjector *faults = nullptr;
 
     statistics::Scalar messagesSent;
     statistics::Scalar bytesSent;

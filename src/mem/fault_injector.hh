@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the exposed channel bus.
+ *
+ * Models an active adversary (or a marginal link) that drops,
+ * corrupts, delays or duplicates individual bus messages. All
+ * randomness flows through one seeded PRNG so a faulty run is exactly
+ * reproducible: the same seed and the same message sequence produce
+ * the same fault pattern. Probabilities come from the
+ * OBFUSMEM_FAULT_* knobs and default to zero, so an unconfigured
+ * injector never perturbs the wire.
+ */
+
+#ifndef OBFUSMEM_MEM_FAULT_INJECTOR_HH
+#define OBFUSMEM_MEM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace obfusmem {
+
+enum class BusDir : uint8_t;
+
+/** The injector's verdict for one bus message. */
+struct FaultDecision
+{
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    /** Extra propagation delay (retimed link, not reordered). */
+    Tick extraDelay = 0;
+    /** Deterministic entropy for the receiver (e.g. which bit flips). */
+    uint64_t entropy = 0;
+};
+
+/**
+ * Seeded per-system fault source consulted by every ChannelBus as a
+ * message starts its burst. Faults are independent per message; the
+ * draw order is the bus arbitration order, which is deterministic.
+ */
+class FaultInjector
+{
+  public:
+    struct Params
+    {
+        uint64_t seed = 0x0bf5;
+        double dropProb = 0;
+        double corruptProb = 0;
+        double delayProb = 0;
+        double dupProb = 0;
+        /** Extra delay applied when a delay fault fires. */
+        Tick delayTicks = 100 * tickPerNs;
+
+        /** Read the OBFUSMEM_FAULT_* knobs (latched per call). */
+        static Params fromEnv();
+
+        bool any() const
+        {
+            return dropProb > 0 || corruptProb > 0 || delayProb > 0
+                   || dupProb > 0;
+        }
+    };
+
+    explicit FaultInjector(const Params &params);
+
+    /** Decide the fate of one message; advances the PRNG. */
+    FaultDecision decide(unsigned channel, BusDir dir);
+
+    void regStats(statistics::Group &g);
+
+    const Params &config() const { return params; }
+
+  private:
+    Params params;
+    Random rng;
+
+    statistics::Scalar dropped;
+    statistics::Scalar corrupted;
+    statistics::Scalar delayed;
+    statistics::Scalar duplicated;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_MEM_FAULT_INJECTOR_HH

@@ -34,6 +34,12 @@ channelIncidentName(ChannelIncident incident)
       case ChannelIncident::HeaderDesync: return "header-desync";
       case ChannelIncident::MacMismatch: return "mac-mismatch";
       case ChannelIncident::UnknownTag: return "unknown-tag";
+      case ChannelIncident::FrameDiscarded: return "frame-discarded";
+      case ChannelIncident::CounterResync: return "counter-resync";
+      case ChannelIncident::RekeyStarted: return "rekey-started";
+      case ChannelIncident::RekeyCompleted: return "rekey-completed";
+      case ChannelIncident::ChannelQuarantined:
+        return "channel-quarantined";
     }
     return "?";
 }

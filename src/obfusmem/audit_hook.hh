@@ -42,6 +42,16 @@ enum class ChannelIncident : uint8_t
     MacMismatch,
     /** Well-formed reply carrying a tag with no outstanding request. */
     UnknownTag,
+    /** Recovery discarded an unattributable frame (dup / replay). */
+    FrameDiscarded,
+    /** Receiver jumped its counters forward to a verified position. */
+    CounterResync,
+    /** Processor side initiated a re-key handshake. */
+    RekeyStarted,
+    /** An endpoint installed the new epoch key and reset counters. */
+    RekeyCompleted,
+    /** Re-key failed repeatedly; the channel is out of service. */
+    ChannelQuarantined,
 };
 
 /** Human-readable endpoint-side name. */

@@ -5,6 +5,9 @@
 
 #include "obfusmem/mem_side.hh"
 
+#include <algorithm>
+
+#include "crypto/dh.hh"
 #include "util/assert.hh"
 #include "util/logging.hh"
 
@@ -23,7 +26,12 @@ ObfusMemMemSide::ObfusMemMemSide(const std::string &name,
       rxCipher(session_key, 2ull * channel_id),
       txCipher(session_key, 2ull * channel_id + 1), mac(params_.mac),
       bus(bus_), pcm(pcm_), store(store_), dummyBlockAddr(dummy_addr),
-      junkRng(0x5eed0000 + channel_id)
+      junkRng(0x5eed0000 + channel_id),
+      ctlRx(controlKeyFor(session_key),
+            controlNonceBase + 2ull * channel_id),
+      ctlTx(controlKeyFor(session_key),
+            controlNonceBase + 2ull * channel_id + 1),
+      rekeyRng(0x4ec00000 + channel_id)
 {
     reqPads.configure(rxCipher, countersPerRequestGroup,
                       params.padPrefetchDepth, &padPrefetch);
@@ -45,6 +53,12 @@ ObfusMemMemSide::ObfusMemMemSide(const std::string &name,
                       "undecryptable headers (counter desync)");
     stats().addScalar("padsUsed", &padsUsed,
                       "128-bit pads consumed by this controller");
+    stats().addScalar("framesDiscarded", &framesDiscarded,
+                      "unattributable frames discarded by recovery");
+    stats().addScalar("resyncs", &resyncs,
+                      "forward counter resynchronizations");
+    stats().addScalar("rekeysCompleted", &rekeysCompleted,
+                      "re-key epochs installed");
     padPrefetch.regStats(stats());
 }
 
@@ -70,21 +84,6 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
     uint64_t hdr_ctr = reqCounter + groupPhase;
     OBF_DCHECK(reqCounter <= UINT64_MAX - countersPerRequestGroup,
                "request counter exhausted on channel ", channel);
-    padsUsed += 1;
-
-    // Report the pads this message reserves: the group's first
-    // (read) message burns one header pad, the second (write)
-    // message burns its header pad plus the four payload pads; a
-    // uniform-scheme message reserves the whole group by itself.
-    if (audit) {
-        uint64_t count = params.uniformPackets
-                             ? countersPerRequestGroup
-                             : (groupPhase == 0
-                                    ? 1
-                                    : countersPerRequestGroup - 1);
-        audit->onPadUse(curTick(), channel, EndpointSide::Memory,
-                        CounterStream::Request, hdr_ctr, count);
-    }
 
     // Stage the whole group's pads when its first message arrives;
     // the second message reuses the staging. The prefetch ring
@@ -101,6 +100,32 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
     std::optional<WireHeader> hdr =
         decryptHeaderWithPad(groupPads[groupPhase], msg.cipherHeader);
 
+    if (!hdr && params.recovery.enabled) {
+        // An unattributable frame must not consume a counter position
+        // (a forged or duplicated frame could otherwise desync the
+        // link for good): trial-resync forward, try the control
+        // plane, or discard - the processor's retry machinery makes
+        // progress either way.
+        recoverRequestFrame(std::move(msg));
+        return;
+    }
+
+    padsUsed += 1;
+
+    // Report the pads this message reserves: the group's first
+    // (read) message burns one header pad, the second (write)
+    // message burns its header pad plus the four payload pads; a
+    // uniform-scheme message reserves the whole group by itself.
+    if (audit) {
+        uint64_t count = params.uniformPackets
+                             ? countersPerRequestGroup
+                             : (groupPhase == 0
+                                    ? 1
+                                    : countersPerRequestGroup - 1);
+        audit->onPadUse(curTick(), channel, EndpointSide::Memory,
+                        CounterStream::Request, hdr_ctr, count);
+    }
+
     // Advance the group phase regardless: the pads are consumed.
     if (params.uniformPackets) {
         groupPhase = 0;
@@ -114,9 +139,9 @@ ObfusMemMemSide::receiveMessage(WireMessage msg)
     }
 
     if (!hdr) {
-        // Drop, inject or replay desynchronized the counters; from
-        // here on the link is cryptographically dead (DoS, not data
-        // loss - paper Sec. 3.5).
+        // Recovery disabled: drop, inject or replay desynchronized
+        // the counters; from here on the link is cryptographically
+        // dead (DoS, not data loss - paper Sec. 3.5).
         ++headerDesyncs;
         if (audit) {
             audit->onIncident(curTick(), channel,
@@ -259,28 +284,235 @@ ObfusMemMemSide::sendReadReply(const WireHeader &req_hdr,
     ReplyPads pads;
     replyPads.take(ctr, pads.pad.data());
     schedulePadRefill();
-    WireMessage msg;
-    msg.cipherHeader = encryptHeaderWithPad(pads.header(), hdr);
-    msg.hasData = true;
-    msg.cipherData = cryptPayloadWithPads(pads.payload(), data);
+    WireMessage msg = makeDataMessage(pads.header(), pads.payload(),
+                                      hdr, data);
     padsUsed += 5;
-    if (params.auth) {
-        msg.hasMac = true;
-        msg.mac = mac.compute(hdr, ctr);
-    }
+    if (params.auth)
+        attachMac(msg, mac.compute(hdr, ctr));
 
+    transmitReply(std::move(msg));
+}
+
+void
+ObfusMemMemSide::transmitReply(WireMessage msg)
+{
     Tick lat = params.xorLatency
                + (params.auth ? mac.senderLatency() : 0);
     scheduleAfter(lat, [this, msg = std::move(msg)]() mutable {
         uint64_t snoop_addr = msg.snoopAddr();
         uint32_t bytes = msg.wireBytes(params.headerWireBytes, params.macWireBytes);
         bus.send(BusDir::ToProcessor, bytes, snoop_addr, false,
-                 [this, msg = std::move(msg)]() mutable {
+                 [this, msg = std::move(msg)](const BusFault &fault)
+                     mutable {
                      panic_if(!replyTarget,
                               "no reply target wired to mem side");
+                     if (fault.corrupted)
+                         corruptHeaderBit(msg, fault.entropy);
+                     if (fault.duplicated) {
+                         WireMessage copy = msg;
+                         replyTarget(std::move(copy));
+                     }
                      replyTarget(std::move(msg));
                  });
     });
+}
+
+// --- Recovery ------------------------------------------------------
+
+void
+ObfusMemMemSide::recoverRequestFrame(WireMessage msg)
+{
+    const RecoveryParams &rp = params.recovery;
+    const unsigned phases = params.uniformPackets ? 1 : 2;
+
+    // 1) Trial-decrypt a bounded window of future data-stream
+    // positions. A magic- and MAC-verified hit means frames were lost
+    // in flight and the processor is ahead of us: jump forward,
+    // burning the skipped pads so both ledgers stay congruent.
+    for (unsigned g = 0; g <= rp.resyncWindowGroups; ++g) {
+        uint64_t base = reqCounter + g * countersPerRequestGroup;
+        for (unsigned ph = 0; ph < phases; ++ph) {
+            if (g == 0 && ph <= groupPhase)
+                continue; // at or behind the position that failed
+            uint64_t pos = base + ph;
+            std::optional<WireHeader> cand =
+                decryptHeader(rxCipher, pos, msg.cipherHeader);
+            if (!cand)
+                continue;
+            if (params.auth
+                && (!msg.hasMac || !mac.verify(*cand, pos, msg.mac)))
+                continue;
+            resyncTo(base, ph, std::move(msg));
+            return;
+        }
+    }
+
+    // 2) Not data traffic: maybe a control-plane (re-key) frame. The
+    // control streams use a key derived from the boot session key, so
+    // they stay decryptable even when the data-plane key is suspect.
+    for (unsigned g = 0; g <= rp.resyncWindowGroups; ++g) {
+        uint64_t base = ctlCursor + g * countersPerRequestGroup;
+        for (unsigned ph = 0; ph < 2; ++ph) {
+            uint64_t pos = base + ph;
+            std::optional<WireHeader> cand =
+                decryptHeader(ctlRx, pos, msg.cipherHeader);
+            if (!cand)
+                continue;
+            if (params.auth
+                && (!msg.hasMac || !mac.verify(*cand, pos, msg.mac)))
+                continue;
+            if (msg.hasData) {
+                DataBlock plain =
+                    cryptPayload(ctlRx, base + 2, msg.cipherData);
+                ctlCursor = base + countersPerRequestGroup;
+                std::optional<HandshakeChunk> chunk =
+                    unpackHandshakeChunk(plain);
+                if (chunk)
+                    handleHandshakeChunk(*chunk);
+            } else {
+                // Shape-filler half of a split control pair.
+                ctlCursor = base;
+            }
+            return;
+        }
+    }
+
+    // 3) Unattributable: duplicate, replay, corruption, or garbage.
+    // Discard without consuming a counter position.
+    ++framesDiscarded;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Memory,
+                          ChannelIncident::FrameDiscarded);
+    }
+}
+
+void
+ObfusMemMemSide::resyncTo(uint64_t base, unsigned phase,
+                          WireMessage msg)
+{
+    // The ledger is dense up to the header position we were waiting
+    // for; burn everything from there to the verified hit so the
+    // auditor sees the lost positions as consumed on this side too.
+    uint64_t cur = reqCounter + (groupPhase == 1 ? 1 : 0);
+    uint64_t tgt = base + (phase == 1 ? 1 : 0);
+    ++resyncs;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Memory,
+                          ChannelIncident::CounterResync);
+        if (tgt > cur) {
+            audit->onPadUse(curTick(), channel, EndpointSide::Memory,
+                            CounterStream::Request, cur, tgt - cur);
+        }
+    }
+    reqCounter = base;
+    groupPhase = phase;
+    groupPadsValid = false;
+    reqPads.invalidate();
+    receiveMessage(std::move(msg));
+}
+
+void
+ObfusMemMemSide::handleHandshakeChunk(const HandshakeChunk &chunk)
+{
+    // A chunk for an epoch we already installed means our response
+    // was lost in flight: resend it at fresh control counters. The
+    // stored response carries the same public value, so the peer
+    // derives the same key (idempotent).
+    if (installedEpoch != 0 && chunk.epoch <= installedEpoch) {
+        if (chunk.epoch == installedEpoch)
+            sendHandshakeResponse();
+        return;
+    }
+    if (chunk.total == 0 || chunk.total > collectChunks.size()
+        || chunk.len > handshakeChunkBytes)
+        return;
+    if (collectEpoch != chunk.epoch || collectTotal != chunk.total) {
+        collectEpoch = chunk.epoch;
+        collectTotal = chunk.total;
+        collectMask = 0;
+    }
+    if (chunk.chunk >= collectTotal)
+        return;
+    collectChunks[chunk.chunk] = chunk;
+    collectMask |= 1u << chunk.chunk;
+    if (collectMask != (1u << collectTotal) - 1)
+        return;
+
+    // Full public value in hand: run our half of the exchange.
+    std::vector<uint8_t> pub_bytes;
+    for (unsigned i = 0; i < collectTotal; ++i) {
+        const HandshakeChunk &c = collectChunks[i];
+        pub_bytes.insert(pub_bytes.end(), c.data.begin(),
+                         c.data.begin() + c.len);
+    }
+    crypto::BigUint peer_pub =
+        crypto::BigUint::fromBytes(pub_bytes.data(), pub_bytes.size());
+    crypto::DhEndpoint dh(crypto::DhGroup::testGroup256(), rekeyRng);
+    crypto::Aes128::Key key = epochSessionKey(
+        crypto::DhEndpoint::deriveSessionKey(dh.computeShared(peer_pub)),
+        chunk.epoch, channel);
+
+    // Stash the response payloads first so duplicates can be answered
+    // verbatim later.
+    std::vector<uint8_t> my_pub = dh.publicValue().toBytes();
+    uint8_t total = static_cast<uint8_t>(
+        (my_pub.size() + handshakeChunkBytes - 1) / handshakeChunkBytes);
+    if (total == 0)
+        total = 1;
+    respPayloads.clear();
+    for (uint8_t i = 0; i < total; ++i) {
+        HandshakeChunk rc;
+        rc.epoch = chunk.epoch;
+        rc.chunk = i;
+        rc.total = total;
+        size_t off = static_cast<size_t>(i) * handshakeChunkBytes;
+        rc.len = static_cast<uint16_t>(
+            std::min(handshakeChunkBytes, my_pub.size() - off));
+        std::copy_n(my_pub.begin() + off, rc.len, rc.data.begin());
+        respPayloads.push_back(packHandshakeChunk(rc));
+    }
+
+    // Install the epoch key: both data-plane streams restart at
+    // counter zero under the new key. The prefetch rings hold pads of
+    // the old key; invalidate so the next take regenerates.
+    installedEpoch = chunk.epoch;
+    rxCipher.setKey(key, 2ull * channel);
+    txCipher.setKey(key, 2ull * channel + 1);
+    reqCounter = 0;
+    groupPhase = 0;
+    groupPadsValid = false;
+    respCounter = 0;
+    reqPads.invalidate();
+    replyPads.invalidate();
+    ++rekeysCompleted;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Memory,
+                          ChannelIncident::RekeyCompleted);
+    }
+    sendHandshakeResponse();
+}
+
+void
+ObfusMemMemSide::sendHandshakeResponse()
+{
+    // Response chunks ride reply-shaped frames on the control tx
+    // stream: indistinguishable on the wire from ordinary read
+    // replies. Control pads are not reported to the auditor.
+    for (const DataBlock &payload : respPayloads) {
+        uint64_t ctr = ctlRespCounter;
+        ctlRespCounter += countersPerReply;
+        ReplyPads pads = genReplyPads(ctlTx, ctr);
+        WireHeader hdr;
+        hdr.cmd = MemCmd::Read;
+        hdr.addr = dummyBlockAddr;
+        hdr.tag = 0;
+        hdr.dummy = true;
+        WireMessage msg = makeDataMessage(pads.header(),
+                                          pads.payload(), hdr, payload);
+        if (params.auth)
+            attachMac(msg, mac.compute(hdr, ctr));
+        transmitReply(std::move(msg));
+    }
 }
 
 } // namespace obfusmem

@@ -12,6 +12,7 @@
 #define OBFUSMEM_OBFUSMEM_MEM_SIDE_HH
 
 #include <functional>
+#include <vector>
 
 #include "crypto/ctr_mode.hh"
 #include "mem/backing_store.hh"
@@ -83,6 +84,24 @@ class ObfusMemMemSide : public SimObject
         return static_cast<uint64_t>(padsUsed.value());
     }
 
+    /** Resynchronizations performed (recovery). */
+    uint64_t resyncCount() const
+    {
+        return static_cast<uint64_t>(resyncs.value());
+    }
+
+    /** Unattributable frames discarded (recovery). */
+    uint64_t discardedFrames() const
+    {
+        return static_cast<uint64_t>(framesDiscarded.value());
+    }
+
+    /** Re-key epochs installed on this side (recovery). */
+    uint64_t rekeysInstalled() const
+    {
+        return static_cast<uint64_t>(rekeysCompleted.value());
+    }
+
   private:
     void handleRequest(const WireHeader &hdr, bool has_data,
                        const DataBlock &plain_data, uint64_t hdr_ctr);
@@ -91,6 +110,28 @@ class ObfusMemMemSide : public SimObject
 
     /** Schedule zero-delay refills for depleted pad rings. */
     void schedulePadRefill();
+
+    // --- Recovery (see obfusmem/recovery.hh) ------------------------
+
+    /**
+     * A frame failed data-plane header decryption with recovery on:
+     * trial-resync forward on the data stream, interpret it as a
+     * control-plane (re-key) frame, or discard it without consuming
+     * a counter position.
+     */
+    void recoverRequestFrame(WireMessage msg);
+
+    /** Jump the request cursor to a verified position, burning pads. */
+    void resyncTo(uint64_t base, unsigned phase, WireMessage msg);
+
+    /** Accumulate a re-key request chunk; install when complete. */
+    void handleHandshakeChunk(const HandshakeChunk &chunk);
+
+    /** (Re)send the stored handshake response at fresh counters. */
+    void sendHandshakeResponse();
+
+    /** Push a built reply-direction frame onto the bus. */
+    void transmitReply(WireMessage msg);
 
     ObfusMemParams params;
     unsigned channel;
@@ -123,11 +164,37 @@ class ObfusMemMemSide : public SimObject
     PadPrefetcher replyPads;
     PadPrefetchStats padPrefetch;
 
+    // --- Recovery / control-plane state -----------------------------
+    //
+    // The control plane is a second pair of CTR streams under a key
+    // derived from the boot session key (controlKeyFor); it stays
+    // decryptable while the data-plane key is being replaced. Its pad
+    // consumption is not reported to the auditor - control traffic is
+    // exactly data-shaped on the wire, which is what the auditor's
+    // wire-level invariants check.
+    crypto::AesCtr ctlRx; // processor -> memory control stream
+    crypto::AesCtr ctlTx; // memory -> processor control stream
+    /** Next expected control-group base on the rx control stream. */
+    uint64_t ctlCursor = 0;
+    /** Control reply counter on the tx control stream. */
+    uint64_t ctlRespCounter = 0;
+    Random rekeyRng;
+    /** Last re-key epoch whose key this side installed (0 = none). */
+    uint32_t installedEpoch = 0;
+    /** In-progress handshake-chunk collection. */
+    uint32_t collectEpoch = 0;
+    uint8_t collectTotal = 0;
+    uint32_t collectMask = 0;
+    std::array<HandshakeChunk, 8> collectChunks{};
+    /** Stored response payloads for idempotent resends. */
+    std::vector<DataBlock> respPayloads;
+
     statistics::Scalar realReads, realWrites;
     statistics::Scalar dummyReadsAnswered, dummyWritesDropped;
     statistics::Scalar dummyPcmAccesses;
     statistics::Scalar macFailures, headerDesyncs;
     statistics::Scalar padsUsed;
+    statistics::Scalar framesDiscarded, resyncs, rekeysCompleted;
 };
 
 } // namespace obfusmem

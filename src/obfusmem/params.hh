@@ -8,6 +8,7 @@
 #define OBFUSMEM_OBFUSMEM_PARAMS_HH
 
 #include "obfusmem/mac_engine.hh"
+#include "obfusmem/recovery.hh"
 #include "secure/pad_prefetcher.hh"
 #include "sim/types.hh"
 
@@ -102,6 +103,9 @@ struct ObfusMemParams
     bool timingOblivious = false;
     /** Issue epoch per channel in timing-oblivious mode. */
     Tick issueEpoch = 60 * tickPerNs;
+
+    /** Link-recovery subsystem (retry / resync / re-key) knobs. */
+    RecoveryParams recovery = defaultRecoveryParams();
 };
 
 } // namespace obfusmem

@@ -70,8 +70,11 @@ PlainPath::sendRead(unsigned channel, MemPacket pkt, PacketCallback cb)
 
     // Read requests ride the command pins; the address and command
     // bit are exposed to any snooper.
+    // The fault injector only attaches to obfuscated configurations
+    // (the recovery protocol lives there), so the plain path ignores
+    // the always-clean fault verdict.
     buses[channel]->send(BusDir::ToMemory, 0, addr, false,
-        [this, channel, h]() {
+        [this, channel, h](const BusFault &) {
             PacketPool::Slot &slot = pool.at(h);
             controllers[channel]->access(std::move(slot.pkt),
                 [this, channel, h](MemPacket &&resp) {
@@ -82,7 +85,7 @@ PlainPath::sendRead(unsigned channel, MemPacket pkt, PacketCallback cb)
                         static_cast<uint32_t>(slot2.pkt.data.size());
                     buses[channel]->send(BusDir::ToProcessor, bytes,
                                          raddr, false,
-                        [this, channel, h]() {
+                        [this, channel, h](const BusFault &) {
                             ChannelState &cs2 = channelState[channel];
                             --cs2.outstandingReads;
                             MemPacket resp2;
@@ -104,7 +107,7 @@ PlainPath::sendWrite(unsigned channel, MemPacket pkt, PacketCallback cb)
         pool.acquire(std::move(pkt), std::move(cb));
 
     buses[channel]->send(BusDir::ToMemory, bytes, addr, true,
-        [this, channel, h]() {
+        [this, channel, h](const BusFault &) {
             MemPacket wpkt;
             PacketCallback wcb;
             pool.release(h, wpkt, wcb);

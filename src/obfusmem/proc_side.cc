@@ -5,6 +5,8 @@
 
 #include "obfusmem/proc_side.hh"
 
+#include <algorithm>
+
 #include "util/assert.hh"
 #include "util/logging.hh"
 
@@ -29,6 +31,10 @@ ObfusMemProcSide::ObfusMemProcSide(
         ChannelState &cs = channelState[c];
         cs.tx.setKey(session_keys[c], 2ull * c);
         cs.rx.setKey(session_keys[c], 2ull * c + 1);
+        cs.ctlTx.setKey(controlKeyFor(session_keys[c]),
+                        controlNonceBase + 2ull * c);
+        cs.ctlRx.setKey(controlKeyFor(session_keys[c]),
+                        controlNonceBase + 2ull * c + 1);
         cs.bus = buses[c];
         cs.dummyAddr = dummy_addrs[c];
         cs.txPads.configure(cs.tx, countersPerRequestGroup,
@@ -57,6 +63,20 @@ ObfusMemProcSide::ObfusMemProcSide(
                       "channel-fill dummies replaced by real writes");
     stats().addScalar("pairSubstitutions", &pairSubstitutions,
                       "paired dummy writes replaced by real writes");
+    stats().addScalar("retransmits", &retransmits,
+                      "request groups retransmitted at fresh counters");
+    stats().addScalar("framesDiscarded", &framesDiscarded,
+                      "unattributable reply frames discarded");
+    stats().addScalar("resyncs", &resyncs,
+                      "forward counter resynchronizations");
+    stats().addScalar("rekeysStarted", &rekeysStarted,
+                      "re-key handshakes initiated");
+    stats().addScalar("rekeysCompleted", &rekeysCompleted,
+                      "re-key epochs installed");
+    stats().addScalar("quarantines", &quarantines,
+                      "channels taken out of service");
+    stats().addScalar("requestsDropped", &requestsDropped,
+                      "requests dropped on quarantined channels");
     padPrefetch.regStats(stats());
 }
 
@@ -140,36 +160,53 @@ ObfusMemProcSide::access(MemPacket pkt, PacketCallback cb)
     scheduleAfter(lat,
         [this, channel, pkt = std::move(pkt),
          cb = std::move(cb)]() mutable {
-            ChannelState &cs = channelState[channel];
-            if (params.timingOblivious) {
-                // Requests wait for their channel's next epoch slot;
-                // the wire carries one group per epoch regardless.
-                cs.epochQueue.push_back(
-                    {std::move(pkt), std::move(cb)});
-                ensureHeartbeats();
-                return;
-            }
-            if (pkt.isWrite()) {
-                // Writes are buffered; reads have channel priority.
-                cs.writeQueue.push_back(
-                    {std::move(pkt), std::move(cb)});
-                maybeDrainWrites(channel);
-                return;
-            }
-            // Write-buffer forwarding: a read must observe buffered
-            // write data, and never needs the channel for it.
-            for (auto it = cs.writeQueue.rbegin();
-                 it != cs.writeQueue.rend(); ++it) {
-                if (it->pkt.addr == pkt.addr) {
-                    ++forwardedFromWriteQueue;
-                    pkt.data = it->pkt.data;
-                    cb(std::move(pkt));
-                    return;
-                }
-            }
-            injectChannelDummies(channel);
-            sendGroup(channel, std::move(pkt), std::move(cb));
+            dispatch(channel, std::move(pkt), std::move(cb));
         });
+}
+
+void
+ObfusMemProcSide::dispatch(unsigned channel, MemPacket pkt,
+                           PacketCallback cb)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.health == ChannelHealth::Quarantined) {
+        // The channel is out of service; the request cannot be
+        // delivered. Reads simply never complete.
+        ++requestsDropped;
+        return;
+    }
+    if (cs.health == ChannelHealth::Rekeying) {
+        // Data traffic pauses while the key is renegotiated; the
+        // held requests replay when the new epoch installs.
+        cs.rekeyHold.push_back({std::move(pkt), std::move(cb)});
+        return;
+    }
+    if (params.timingOblivious) {
+        // Requests wait for their channel's next epoch slot;
+        // the wire carries one group per epoch regardless.
+        cs.epochQueue.push_back({std::move(pkt), std::move(cb)});
+        ensureHeartbeats();
+        return;
+    }
+    if (pkt.isWrite()) {
+        // Writes are buffered; reads have channel priority.
+        cs.writeQueue.push_back({std::move(pkt), std::move(cb)});
+        maybeDrainWrites(channel);
+        return;
+    }
+    // Write-buffer forwarding: a read must observe buffered
+    // write data, and never needs the channel for it.
+    for (auto it = cs.writeQueue.rbegin();
+         it != cs.writeQueue.rend(); ++it) {
+        if (it->pkt.addr == pkt.addr) {
+            ++forwardedFromWriteQueue;
+            pkt.data = it->pkt.data;
+            cb(std::move(pkt));
+            return;
+        }
+    }
+    injectChannelDummies(channel);
+    sendGroup(channel, std::move(pkt), std::move(cb));
 }
 
 bool
@@ -200,6 +237,16 @@ void
 ObfusMemProcSide::heartbeat(unsigned channel)
 {
     ChannelState &cs = channelState[channel];
+    if (cs.health == ChannelHealth::Quarantined) {
+        cs.heartbeatActive = false;
+        return;
+    }
+    if (cs.health == ChannelHealth::Rekeying) {
+        // Keep ticking but issue nothing until the new epoch installs.
+        scheduleAfter(params.issueEpoch,
+                      [this, channel]() { heartbeat(channel); });
+        return;
+    }
     if (quiescent()) {
         // Pause the constant-rate stream only when the controller is
         // globally idle; attackers learn at most the program's
@@ -224,6 +271,8 @@ void
 ObfusMemProcSide::maybeDrainWrites(unsigned channel)
 {
     ChannelState &cs = channelState[channel];
+    if (cs.health != ChannelHealth::Active)
+        return;
     if (cs.writeQueue.size() >= params.writeQueueHighWatermark)
         cs.drainingWrites = true;
 
@@ -283,40 +332,50 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             payload = pkt.data;
         }
 
-        WireMessage msg;
-        msg.cipherHeader = encryptHeaderWithPad(pads.pad[0], hdr);
-        msg.hasData = true;
-        msg.cipherData = cryptPayloadWithPads(&pads.pad[2], payload);
-        if (params.auth) {
-            msg.hasMac = true;
-            msg.mac = mac.compute(hdr, ctr);
-        }
+        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
+                                          hdr, payload);
+        if (params.auth)
+            attachMac(msg, mac.compute(hdr, ctr));
 
         ++cs.outstandingReads;
         if (is_read) {
             ++realReads;
-            cs.pending[hdr.tag] = {std::move(pkt), std::move(cb),
-                                   false};
+            PendingRead pend{std::move(pkt), std::move(cb), false};
+            pend.lastSend = curTick();
+            pend.rbFirst = hdr;
+            pend.rbPayload = payload;
+            cs.pending[hdr.tag] = std::move(pend);
             transmit(channel, std::move(msg));
         } else {
             ++realWrites;
             // The write's junk reply is discarded; completion is
             // posted at delivery, as in the split scheme.
-            cs.pending[hdr.tag] = {MemPacket{}, nullptr, true};
+            PendingRead pend{MemPacket{}, nullptr, true};
+            pend.lastSend = curTick();
+            pend.rbFirst = hdr;
+            pend.rbPayload = payload;
+            cs.pending[hdr.tag] = std::move(pend);
             uint64_t snoop_addr = msg.snoopAddr();
             uint32_t bytes = msg.wireBytes(params.headerWireBytes,
                                            params.macWireBytes);
             cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, true,
                 [this, channel, msg = std::move(msg),
                  pkt = std::move(pkt),
-                 cb = std::move(cb)]() mutable {
+                 cb = std::move(cb)](const BusFault &fault) mutable {
                     ChannelState &cs2 = channelState[channel];
                     panic_if(!cs2.toMem, "no request target wired");
+                    if (fault.corrupted)
+                        corruptHeaderBit(msg, fault.entropy);
+                    if (fault.duplicated) {
+                        WireMessage copy = msg;
+                        cs2.toMem(std::move(copy));
+                    }
                     cs2.toMem(std::move(msg));
                     if (cb)
                         cb(std::move(pkt));
                 });
         }
+        ensureWatchdog(channel);
         return;
     }
 
@@ -328,15 +387,17 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         hdr.cmd = MemCmd::Read;
         hdr.addr = pkt.addr;
         hdr.tag = allocTag(cs);
-        cs.pending[hdr.tag] = {std::move(pkt), std::move(cb), false};
+        {
+            PendingRead pend{std::move(pkt), std::move(cb), false};
+            pend.lastSend = curTick();
+            pend.rbFirst = hdr;
+            cs.pending[hdr.tag] = std::move(pend);
+        }
         ++cs.outstandingReads;
 
-        WireMessage msg1;
-        msg1.cipherHeader = encryptHeaderWithPad(pads.pad[0], hdr);
-        if (params.auth) {
-            msg1.hasMac = true;
-            msg1.mac = mac.compute(hdr, ctr);
-        }
+        WireMessage msg1 = makeHeaderMessage(pads.pad[0], hdr);
+        if (params.auth)
+            attachMac(msg1, mac.compute(hdr, ctr));
         transmit(channel, std::move(msg1));
 
         // Message 2: the paired write. When writes are piling up, a
@@ -352,28 +413,35 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             WireHeader whdr;
             whdr.cmd = MemCmd::Write;
             whdr.addr = qw.pkt.addr;
-            WireMessage msg2;
-            msg2.cipherHeader =
-                encryptHeaderWithPad(pads.pad[1], whdr);
-            msg2.hasData = true;
-            msg2.cipherData =
-                cryptPayloadWithPads(&pads.pad[2], qw.pkt.data);
-            if (params.auth) {
-                msg2.hasMac = true;
-                msg2.mac = mac.compute(whdr, ctr + 1);
+            WireMessage msg2 = makeDataMessage(pads.pad[1],
+                                               &pads.pad[2], whdr,
+                                               qw.pkt.data);
+            if (params.auth)
+                attachMac(msg2, mac.compute(whdr, ctr + 1));
+            {
+                PendingRead &pend = cs.pending[hdr.tag];
+                pend.rbSecond = whdr;
+                pend.rbPayload = qw.pkt.data;
             }
             uint64_t snoop_addr = msg2.snoopAddr();
             uint32_t bytes = msg2.wireBytes(params.headerWireBytes,
                                             params.macWireBytes);
             cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, true,
                 [this, channel, msg2 = std::move(msg2),
-                 qw = std::move(qw)]() mutable {
+                 qw = std::move(qw)](const BusFault &fault) mutable {
                     ChannelState &cs2 = channelState[channel];
                     panic_if(!cs2.toMem, "no request target wired");
+                    if (fault.corrupted)
+                        corruptHeaderBit(msg2, fault.entropy);
+                    if (fault.duplicated) {
+                        WireMessage copy = msg2;
+                        cs2.toMem(std::move(copy));
+                    }
                     cs2.toMem(std::move(msg2));
                     if (qw.cb)
                         qw.cb(std::move(qw.pkt));
                 });
+            ensureWatchdog(channel);
             return;
         }
 
@@ -381,18 +449,19 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         dummy_hdr.cmd = MemCmd::Write;
         dummy_hdr.addr = dummyAddrFor(channel, hdr.addr);
         dummy_hdr.dummy = true;
-        WireMessage msg2;
-        msg2.cipherHeader =
-            encryptHeaderWithPad(pads.pad[1], dummy_hdr);
-        msg2.hasData = true;
         DataBlock junk;
         junkRng.fillBytes(junk.data(), junk.size());
-        msg2.cipherData = cryptPayloadWithPads(&pads.pad[2], junk);
-        if (params.auth) {
-            msg2.hasMac = true;
-            msg2.mac = mac.compute(dummy_hdr, ctr + 1);
+        WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
+                                           dummy_hdr, junk);
+        if (params.auth)
+            attachMac(msg2, mac.compute(dummy_hdr, ctr + 1));
+        {
+            PendingRead &pend = cs.pending[hdr.tag];
+            pend.rbSecond = dummy_hdr;
+            pend.rbPayload = junk;
         }
         transmit(channel, std::move(msg2));
+        ensureWatchdog(channel);
         return;
     }
 
@@ -406,12 +475,20 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
     dummy_hdr.addr = dummyAddrFor(channel, pkt.addr);
     dummy_hdr.dummy = true;
     dummy_hdr.tag = allocTag(cs);
-    cs.pending[dummy_hdr.tag] = {MemPacket{}, nullptr, true};
     ++cs.outstandingReads;
 
     WireHeader hdr;
     hdr.cmd = MemCmd::Write;
     hdr.addr = pkt.addr;
+
+    {
+        PendingRead pend{MemPacket{}, nullptr, true};
+        pend.lastSend = curTick();
+        pend.rbFirst = dummy_hdr;
+        pend.rbSecond = hdr;
+        pend.rbPayload = pkt.data;
+        cs.pending[dummy_hdr.tag] = std::move(pend);
+    }
 
     crypto::Md5Digest macs[2];
     if (params.auth) {
@@ -420,24 +497,17 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         mac.computeBatch(hdrs, ctrs, macs, 2);
     }
 
-    WireMessage msg1;
-    msg1.cipherHeader = encryptHeaderWithPad(pads.pad[0], dummy_hdr);
-    if (params.auth) {
-        msg1.hasMac = true;
-        msg1.mac = macs[0];
-    }
+    WireMessage msg1 = makeHeaderMessage(pads.pad[0], dummy_hdr);
+    if (params.auth)
+        attachMac(msg1, macs[0]);
     transmit(channel, std::move(msg1));
 
-    WireMessage msg2;
-    msg2.cipherHeader = encryptHeaderWithPad(pads.pad[1], hdr);
-    msg2.hasData = true;
     // Second encryption on top of the memory-encryption ciphertext:
     // hides temporal reuse of unmodified data (Observation 1).
-    msg2.cipherData = cryptPayloadWithPads(&pads.pad[2], pkt.data);
-    if (params.auth) {
-        msg2.hasMac = true;
-        msg2.mac = macs[1];
-    }
+    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
+                                       hdr, pkt.data);
+    if (params.auth)
+        attachMac(msg2, macs[1]);
 
     // The write is posted: complete it to the requester when the
     // message has fully crossed the bus.
@@ -447,13 +517,20 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
     bool is_data = msg2.hasData;
     state.bus->send(BusDir::ToMemory, bytes, snoop_addr, is_data,
         [this, channel, msg2 = std::move(msg2), pkt = std::move(pkt),
-         cb = std::move(cb)]() mutable {
+         cb = std::move(cb)](const BusFault &fault) mutable {
             ChannelState &cs2 = channelState[channel];
             panic_if(!cs2.toMem, "no request target wired");
+            if (fault.corrupted)
+                corruptHeaderBit(msg2, fault.entropy);
+            if (fault.duplicated) {
+                WireMessage copy = msg2;
+                cs2.toMem(std::move(copy));
+            }
             cs2.toMem(std::move(msg2));
             if (cb)
                 cb(std::move(pkt));
         });
+    ensureWatchdog(channel);
 }
 
 void
@@ -486,20 +563,23 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
         rd.addr = cs.dummyAddr;
         rd.dummy = true;
         rd.tag = allocTag(cs);
-        cs.pending[rd.tag] = {MemPacket{}, nullptr, true};
         ++cs.outstandingReads;
 
-        WireMessage msg;
-        msg.cipherHeader = encryptHeaderWithPad(pads.pad[0], rd);
-        msg.hasData = true;
         DataBlock junk;
         junkRng.fillBytes(junk.data(), junk.size());
-        msg.cipherData = cryptPayloadWithPads(&pads.pad[2], junk);
-        if (params.auth) {
-            msg.hasMac = true;
-            msg.mac = mac.compute(rd, ctr);
+        {
+            PendingRead pend{MemPacket{}, nullptr, true};
+            pend.lastSend = curTick();
+            pend.rbFirst = rd;
+            pend.rbPayload = junk;
+            cs.pending[rd.tag] = std::move(pend);
         }
+        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
+                                          rd, junk);
+        if (params.auth)
+            attachMac(msg, mac.compute(rd, ctr));
         transmit(channel, std::move(msg));
+        ensureWatchdog(channel);
         return;
     }
 
@@ -508,7 +588,6 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
     rd.addr = dummyAddrFor(channel, cs.dummyAddr);
     rd.dummy = true;
     rd.tag = allocTag(cs);
-    cs.pending[rd.tag] = {MemPacket{}, nullptr, true};
     ++cs.outstandingReads;
 
     WireHeader wr;
@@ -523,25 +602,27 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
         mac.computeBatch(hdrs, ctrs, macs, 2);
     }
 
-    WireMessage msg1;
-    msg1.cipherHeader = encryptHeaderWithPad(pads.pad[0], rd);
-    if (params.auth) {
-        msg1.hasMac = true;
-        msg1.mac = macs[0];
-    }
+    WireMessage msg1 = makeHeaderMessage(pads.pad[0], rd);
+    if (params.auth)
+        attachMac(msg1, macs[0]);
     transmit(channel, std::move(msg1));
 
-    WireMessage msg2;
-    msg2.cipherHeader = encryptHeaderWithPad(pads.pad[1], wr);
-    msg2.hasData = true;
     DataBlock junk;
     junkRng.fillBytes(junk.data(), junk.size());
-    msg2.cipherData = cryptPayloadWithPads(&pads.pad[2], junk);
-    if (params.auth) {
-        msg2.hasMac = true;
-        msg2.mac = macs[1];
+    {
+        PendingRead pend{MemPacket{}, nullptr, true};
+        pend.lastSend = curTick();
+        pend.rbFirst = rd;
+        pend.rbSecond = wr;
+        pend.rbPayload = junk;
+        cs.pending[rd.tag] = std::move(pend);
     }
+    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
+                                       wr, junk);
+    if (params.auth)
+        attachMac(msg2, macs[1]);
     transmit(channel, std::move(msg2));
+    ensureWatchdog(channel);
 }
 
 void
@@ -555,6 +636,8 @@ ObfusMemProcSide::injectChannelDummies(unsigned active_channel)
         if (c == active_channel)
             continue;
         ChannelState &cs = channelState[c];
+        if (cs.health != ChannelHealth::Active)
+            continue;
         if (params.channelScheme == ChannelScheme::Opt) {
             bool idle = cs.bus->idle() && cs.outstandingReads == 0;
             if (!idle)
@@ -581,9 +664,16 @@ ObfusMemProcSide::transmit(unsigned channel, WireMessage msg)
     uint32_t bytes = msg.wireBytes(params.headerWireBytes, params.macWireBytes);
     bool is_data = msg.hasData;
     cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, is_data,
-        [this, channel, msg = std::move(msg)]() mutable {
+        [this, channel, msg = std::move(msg)](const BusFault &fault)
+            mutable {
             ChannelState &cs2 = channelState[channel];
             panic_if(!cs2.toMem, "no request target wired");
+            if (fault.corrupted)
+                corruptHeaderBit(msg, fault.entropy);
+            if (fault.duplicated) {
+                WireMessage copy = msg;
+                cs2.toMem(std::move(copy));
+            }
             cs2.toMem(std::move(msg));
         });
 }
@@ -594,19 +684,35 @@ ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
     OBF_ASSERT(channel < channelState.size(),
                "reply for unknown channel ", channel);
     ChannelState &cs = channelState[channel];
+    if (cs.health == ChannelHealth::Quarantined) {
+        ++framesDiscarded;
+        return;
+    }
     uint64_t ctr = cs.respCounter;
     OBF_DCHECK(ctr <= UINT64_MAX - countersPerReply,
                "response counter exhausted on channel ", channel);
-    cs.respCounter += countersPerReply;
-    padsUsed += countersPerReply;
-    notifyPads(channel, CounterStream::Response, ctr,
-               countersPerReply);
 
     ReplyPads pads;
     cs.rxPads.take(ctr, pads.pad.data());
     schedulePadRefill(channel);
     std::optional<WireHeader> hdr =
         decryptHeaderWithPad(pads.header(), msg.cipherHeader);
+
+    if (!hdr && params.recovery.enabled) {
+        // An unattributable frame must not consume a counter
+        // position: trial-resync forward, try the control plane, or
+        // discard. The ring take above is harmless - pads are pure
+        // functions of (key, counter) and the next take regenerates
+        // identical bytes.
+        recoverReplyFrame(channel, std::move(msg));
+        return;
+    }
+
+    cs.respCounter += countersPerReply;
+    padsUsed += countersPerReply;
+    notifyPads(channel, CounterStream::Response, ctr,
+               countersPerReply);
+
     if (!hdr) {
         ++headerDesyncs;
         if (audit) {
@@ -654,11 +760,415 @@ ObfusMemProcSide::receiveReply(unsigned channel, WireMessage &&msg)
     Tick lat = params.xorLatency
                + (params.auth ? mac.receiverLatency() : 0);
     scheduleAfter(lat,
-        [pending = std::move(pending), data]() mutable {
-            pending.pkt.data = data;
-            pending.cb(std::move(pending.pkt));
+        [pkt = std::move(pending.pkt), cb = std::move(pending.cb),
+         data]() mutable {
+            pkt.data = data;
+            cb(std::move(pkt));
         });
     maybeDrainWrites(channel);
+}
+
+// --- Recovery ------------------------------------------------------
+
+void
+ObfusMemProcSide::ensureWatchdog(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (!params.recovery.enabled || cs.watchdogActive)
+        return;
+    if (cs.pending.empty() && cs.health != ChannelHealth::Rekeying)
+        return;
+    cs.watchdogActive = true;
+    Tick period = std::max<Tick>(params.recovery.retryTimeout / 2, 1);
+    scheduleAfter(period, [this, channel]() { watchdogTick(channel); });
+}
+
+void
+ObfusMemProcSide::watchdogTick(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    cs.watchdogActive = false;
+    if (cs.health == ChannelHealth::Quarantined)
+        return;
+    Tick now = curTick();
+
+    if (cs.health == ChannelHealth::Rekeying) {
+        Tick limit = params.recovery.retryTimeout
+                     << std::min(cs.rekeyAttempts, 6u);
+        if (now - cs.rekeySentTick >= limit)
+            sendRekeyRequest(channel); // may quarantine
+        ensureWatchdog(channel);
+        return;
+    }
+
+    // Collect overdue tags first and visit them in sorted order:
+    // unordered_map iteration order must never leak into protocol
+    // behavior (determinism across standard libraries).
+    std::vector<uint16_t> overdue;
+    for (const auto &kv : cs.pending) {
+        Tick limit = params.recovery.retryTimeout
+                     << std::min(kv.second.attempts, 6u);
+        if (now - kv.second.lastSend >= limit)
+            overdue.push_back(kv.first);
+    }
+    std::sort(overdue.begin(), overdue.end());
+    for (uint16_t tag : overdue) {
+        auto it = cs.pending.find(tag);
+        if (it == cs.pending.end())
+            continue;
+        if (it->second.attempts >= params.recovery.retryMax) {
+            // Bounded retries exhausted: the counters or the key are
+            // damaged beyond in-band resync. Renegotiate the session.
+            startRekey(channel);
+            break;
+        }
+        retransmitGroup(channel, tag);
+    }
+    ensureWatchdog(channel);
+}
+
+void
+ObfusMemProcSide::retransmitGroup(unsigned channel, uint16_t tag)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.health != ChannelHealth::Active)
+        return;
+    auto it = cs.pending.find(tag);
+    if (it == cs.pending.end())
+        return;
+    PendingRead &p = it->second;
+
+    // A retransmit is a brand-new group on the wire: fresh counters,
+    // fresh pads, fresh MACs. Reusing the original pads would violate
+    // pad freshness and hand an observer a ciphertext repeat.
+    uint64_t ctr = cs.reqCounter;
+    OBF_DCHECK(ctr <= UINT64_MAX - countersPerRequestGroup,
+               "request counter exhausted on channel ", channel);
+    cs.reqCounter += countersPerRequestGroup;
+    padsUsed += countersPerRequestGroup;
+    if (params.uniformPackets) {
+        notifyPads(channel, CounterStream::Request, ctr,
+                   countersPerRequestGroup);
+    } else {
+        notifyPads(channel, CounterStream::Request, ctr, 1);
+        notifyPads(channel, CounterStream::Request, ctr + 1,
+                   countersPerRequestGroup - 1);
+    }
+    GroupPads pads;
+    cs.txPads.take(ctr, pads.pad.data());
+    schedulePadRefill(channel);
+
+    ++retransmits;
+    p.attempts += 1;
+    p.lastSend = curTick();
+
+    if (params.uniformPackets) {
+        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
+                                          p.rbFirst, p.rbPayload);
+        if (params.auth)
+            attachMac(msg, mac.compute(p.rbFirst, ctr));
+        transmit(channel, std::move(msg));
+        return;
+    }
+
+    crypto::Md5Digest macs[2];
+    if (params.auth) {
+        const WireHeader hdrs[2] = {p.rbFirst, p.rbSecond};
+        const uint64_t ctrs[2] = {ctr, ctr + 1};
+        mac.computeBatch(hdrs, ctrs, macs, 2);
+    }
+    WireMessage msg1 = makeHeaderMessage(pads.pad[0], p.rbFirst);
+    if (params.auth)
+        attachMac(msg1, macs[0]);
+    transmit(channel, std::move(msg1));
+    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
+                                       p.rbSecond, p.rbPayload);
+    if (params.auth)
+        attachMac(msg2, macs[1]);
+    transmit(channel, std::move(msg2));
+}
+
+void
+ObfusMemProcSide::startRekey(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.health != ChannelHealth::Active)
+        return;
+    cs.health = ChannelHealth::Rekeying;
+    ++rekeysStarted;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Processor,
+                          ChannelIncident::RekeyStarted);
+    }
+    sendRekeyRequest(channel);
+}
+
+void
+ObfusMemProcSide::sendRekeyRequest(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.rekeyAttempts >= params.recovery.rekeyMaxAttempts) {
+        quarantineChannel(channel);
+        return;
+    }
+    ++cs.rekeyAttempts;
+
+    // A fresh epoch (and DH key pair) per attempt keeps chunk
+    // collection on the far side unambiguous across attempts. The
+    // test group keeps the modexp cheap at simulation scale; the
+    // handshake structure is group-agnostic.
+    cs.rekeyEpoch += 1;
+    cs.respCollectEpoch = 0;
+    cs.respCollectTotal = 0;
+    cs.respCollectMask = 0;
+    cs.dh = std::make_unique<crypto::DhEndpoint>(
+        crypto::DhGroup::testGroup256(), rekeyRng);
+
+    std::vector<uint8_t> pub = cs.dh->publicValue().toBytes();
+    uint8_t total = static_cast<uint8_t>(
+        (pub.size() + handshakeChunkBytes - 1) / handshakeChunkBytes);
+    if (total == 0)
+        total = 1;
+    for (uint8_t i = 0; i < total; ++i) {
+        HandshakeChunk c;
+        c.epoch = cs.rekeyEpoch;
+        c.chunk = i;
+        c.total = total;
+        size_t off = static_cast<size_t>(i) * handshakeChunkBytes;
+        c.len = static_cast<uint16_t>(
+            std::min(handshakeChunkBytes, pub.size() - off));
+        std::copy_n(pub.begin() + off, c.len, c.data.begin());
+        sendControlGroup(channel, packHandshakeChunk(c));
+    }
+    cs.rekeySentTick = curTick();
+    ensureWatchdog(channel);
+}
+
+void
+ObfusMemProcSide::sendControlGroup(unsigned channel,
+                                   const DataBlock &payload)
+{
+    // Control frames mirror a normal request group's wire shape
+    // exactly; only the key and the counter stream differ, neither of
+    // which is visible on the wire. Control pads are not reported to
+    // the auditor (they live outside the data-plane ledgers).
+    ChannelState &cs = channelState[channel];
+    uint64_t ctr = cs.ctlReqCounter;
+    cs.ctlReqCounter += countersPerRequestGroup;
+    GroupPads pads = genGroupPads(cs.ctlTx, ctr);
+
+    if (params.uniformPackets) {
+        WireHeader hdr;
+        hdr.cmd = MemCmd::Write;
+        hdr.addr = cs.dummyAddr;
+        hdr.dummy = true;
+        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
+                                          hdr, payload);
+        if (params.auth)
+            attachMac(msg, mac.compute(hdr, ctr));
+        transmit(channel, std::move(msg));
+        return;
+    }
+
+    WireHeader rd;
+    rd.cmd = MemCmd::Read;
+    rd.addr = cs.dummyAddr;
+    rd.dummy = true;
+    WireHeader wr;
+    wr.cmd = MemCmd::Write;
+    wr.addr = cs.dummyAddr;
+    wr.dummy = true;
+
+    crypto::Md5Digest macs[2];
+    if (params.auth) {
+        const WireHeader hdrs[2] = {rd, wr};
+        const uint64_t ctrs[2] = {ctr, ctr + 1};
+        mac.computeBatch(hdrs, ctrs, macs, 2);
+    }
+    WireMessage msg1 = makeHeaderMessage(pads.pad[0], rd);
+    if (params.auth)
+        attachMac(msg1, macs[0]);
+    transmit(channel, std::move(msg1));
+    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
+                                       wr, payload);
+    if (params.auth)
+        attachMac(msg2, macs[1]);
+    transmit(channel, std::move(msg2));
+}
+
+void
+ObfusMemProcSide::recoverReplyFrame(unsigned channel, WireMessage msg)
+{
+    ChannelState &cs = channelState[channel];
+    const RecoveryParams &rp = params.recovery;
+
+    // 1) Trial-decrypt a bounded window of future reply positions. A
+    // verified hit means replies were lost (the memory side is ahead):
+    // jump forward, burning the skipped pads so the ledgers merge.
+    for (unsigned k = 1; k <= rp.resyncWindowGroups; ++k) {
+        uint64_t pos = cs.respCounter + k * countersPerReply;
+        std::optional<WireHeader> cand =
+            decryptHeader(cs.rx, pos, msg.cipherHeader);
+        if (!cand)
+            continue;
+        if (params.auth
+            && (!msg.hasMac || !mac.verify(*cand, pos, msg.mac)))
+            continue;
+        ++resyncs;
+        if (audit) {
+            audit->onIncident(curTick(), channel,
+                              EndpointSide::Processor,
+                              ChannelIncident::CounterResync);
+        }
+        notifyPads(channel, CounterStream::Response, cs.respCounter,
+                   pos - cs.respCounter);
+        cs.respCounter = pos;
+        cs.rxPads.invalidate();
+        receiveReply(channel, std::move(msg));
+        return;
+    }
+
+    // 2) Not data traffic: maybe a handshake response on the control
+    // reply stream.
+    for (unsigned k = 0; k <= rp.resyncWindowGroups; ++k) {
+        uint64_t pos = cs.ctlRespCursor + k * countersPerReply;
+        std::optional<WireHeader> cand =
+            decryptHeader(cs.ctlRx, pos, msg.cipherHeader);
+        if (!cand)
+            continue;
+        if (params.auth
+            && (!msg.hasMac || !mac.verify(*cand, pos, msg.mac)))
+            continue;
+        cs.ctlRespCursor = pos + countersPerReply;
+        if (msg.hasData) {
+            DataBlock plain =
+                cryptPayload(cs.ctlRx, pos + 1, msg.cipherData);
+            std::optional<HandshakeChunk> chunk =
+                unpackHandshakeChunk(plain);
+            if (chunk)
+                handleControlReply(channel, *chunk);
+        }
+        return;
+    }
+
+    // 3) Unattributable: duplicate, replay, corruption, or garbage.
+    ++framesDiscarded;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Processor,
+                          ChannelIncident::FrameDiscarded);
+    }
+}
+
+void
+ObfusMemProcSide::handleControlReply(unsigned channel,
+                                     const HandshakeChunk &chunk)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.health != ChannelHealth::Rekeying || !cs.dh
+        || chunk.epoch != cs.rekeyEpoch)
+        return; // stale response from an abandoned attempt
+    if (chunk.total == 0 || chunk.total > cs.respChunks.size()
+        || chunk.len > handshakeChunkBytes)
+        return;
+    if (cs.respCollectEpoch != chunk.epoch
+        || cs.respCollectTotal != chunk.total) {
+        cs.respCollectEpoch = chunk.epoch;
+        cs.respCollectTotal = chunk.total;
+        cs.respCollectMask = 0;
+    }
+    if (chunk.chunk >= cs.respCollectTotal)
+        return;
+    cs.respChunks[chunk.chunk] = chunk;
+    cs.respCollectMask |= 1u << chunk.chunk;
+    if (cs.respCollectMask != (1u << cs.respCollectTotal) - 1)
+        return;
+
+    std::vector<uint8_t> pub_bytes;
+    for (unsigned i = 0; i < cs.respCollectTotal; ++i) {
+        const HandshakeChunk &c = cs.respChunks[i];
+        pub_bytes.insert(pub_bytes.end(), c.data.begin(),
+                         c.data.begin() + c.len);
+    }
+    finishRekey(channel, pub_bytes);
+}
+
+void
+ObfusMemProcSide::finishRekey(unsigned channel,
+                              const std::vector<uint8_t> &peer_pub)
+{
+    ChannelState &cs = channelState[channel];
+    crypto::BigUint pub =
+        crypto::BigUint::fromBytes(peer_pub.data(), peer_pub.size());
+    crypto::Aes128::Key key = epochSessionKey(
+        crypto::DhEndpoint::deriveSessionKey(cs.dh->computeShared(pub)),
+        cs.rekeyEpoch, channel);
+
+    // Both data-plane streams restart at counter zero under the new
+    // epoch key. The prefetch rings hold pads of the old key.
+    cs.tx.setKey(key, 2ull * channel);
+    cs.rx.setKey(key, 2ull * channel + 1);
+    cs.reqCounter = 0;
+    cs.respCounter = 0;
+    cs.txPads.invalidate();
+    cs.rxPads.invalidate();
+    cs.dh.reset();
+    cs.rekeyAttempts = 0;
+    cs.health = ChannelHealth::Active;
+    ++rekeysCompleted;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Processor,
+                          ChannelIncident::RekeyCompleted);
+    }
+
+    // Every outstanding group predates the new epoch; replay each at
+    // the new counters, in deterministic tag order.
+    std::vector<uint16_t> tags;
+    tags.reserve(cs.pending.size());
+    for (const auto &kv : cs.pending)
+        tags.push_back(kv.first);
+    std::sort(tags.begin(), tags.end());
+    for (uint16_t tag : tags) {
+        auto it = cs.pending.find(tag);
+        if (it != cs.pending.end())
+            it->second.attempts = 0;
+        retransmitGroup(channel, tag);
+    }
+
+    // Release requests held while the channel re-keyed.
+    while (!cs.rekeyHold.empty()
+           && cs.health == ChannelHealth::Active) {
+        QueuedWrite qw = std::move(cs.rekeyHold.front());
+        cs.rekeyHold.pop_front();
+        dispatch(channel, std::move(qw.pkt), std::move(qw.cb));
+    }
+    maybeDrainWrites(channel);
+    ensureWatchdog(channel);
+}
+
+void
+ObfusMemProcSide::quarantineChannel(unsigned channel)
+{
+    ChannelState &cs = channelState[channel];
+    if (cs.health == ChannelHealth::Quarantined)
+        return;
+    cs.health = ChannelHealth::Quarantined;
+    ++quarantines;
+    if (audit) {
+        audit->onIncident(curTick(), channel, EndpointSide::Processor,
+                          ChannelIncident::ChannelQuarantined);
+    }
+    warn("obfusmem: channel ", channel, " quarantined after ",
+         cs.rekeyAttempts, " failed re-key attempts");
+    // Fail everything queued or in flight; the channel is dead.
+    // Dropped callbacks simply never fire (the requester observes an
+    // unserviceable channel, which is what quarantine means).
+    cs.pending.clear();
+    cs.outstandingReads = 0;
+    cs.writeQueue.clear();
+    cs.drainingWrites = false;
+    cs.epochQueue.clear();
+    cs.rekeyHold.clear();
+    cs.dh.reset();
 }
 
 } // namespace obfusmem

@@ -13,10 +13,12 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/ctr_mode.hh"
+#include "crypto/dh.hh"
 #include "mem/address_map.hh"
 #include "obfusmem/audit_hook.hh"
 #include "mem/channel_bus.hh"
@@ -97,12 +99,68 @@ class ObfusMemProcSide : public SimObject, public MemSink
     /** Attach the trace auditor's endpoint hook (may be null). */
     void setAuditHook(AuditHook *hook) { audit = hook; }
 
+    // --- Recovery observability (tests / tools) ---------------------
+
+    uint64_t retransmitCount() const
+    {
+        return static_cast<uint64_t>(retransmits.value());
+    }
+
+    uint64_t resyncCount() const
+    {
+        return static_cast<uint64_t>(resyncs.value());
+    }
+
+    uint64_t discardedFrames() const
+    {
+        return static_cast<uint64_t>(framesDiscarded.value());
+    }
+
+    uint64_t rekeysStartedCount() const
+    {
+        return static_cast<uint64_t>(rekeysStarted.value());
+    }
+
+    uint64_t rekeysCompletedCount() const
+    {
+        return static_cast<uint64_t>(rekeysCompleted.value());
+    }
+
+    uint64_t quarantineCount() const
+    {
+        return static_cast<uint64_t>(quarantines.value());
+    }
+
+    bool channelQuarantined(unsigned channel) const
+    {
+        return channelState[channel].health
+               == ChannelHealth::Quarantined;
+    }
+
   private:
+    /** Link state of one channel under the recovery protocol. */
+    enum class ChannelHealth : uint8_t
+    {
+        Active,      ///< normal operation
+        Rekeying,    ///< handshake in flight, data traffic held
+        Quarantined, ///< re-key failed repeatedly; out of service
+    };
+
     struct PendingRead
     {
         MemPacket pkt;
         PacketCallback cb;
         bool dummy = false;
+        /**
+         * Retry state: when and how often the group was (re)sent, and
+         * its plaintext contents so it can be rebuilt verbatim at
+         * fresh counters (retransmits must never reuse a pad).
+         */
+        Tick lastSend = 0;
+        unsigned attempts = 0;
+        WireHeader rbFirst{};
+        WireHeader rbSecond{};
+        DataBlock rbPayload{};
     };
 
     /** A write group waiting in the controller's write buffer. */
@@ -133,7 +191,35 @@ class ObfusMemProcSide : public SimObject, public MemSink
         /** Counter-ahead pad rings for the two counter streams. */
         PadPrefetcher txPads;
         PadPrefetcher rxPads;
+
+        // --- Recovery / control-plane state -------------------------
+        ChannelHealth health = ChannelHealth::Active;
+        /** One rearming watchdog event per channel (wheel events
+         * cannot be cancelled; the tick stops itself when idle). */
+        bool watchdogActive = false;
+        /** Control streams under controlKeyFor(session key): stay
+         * decryptable while the data-plane key is replaced. */
+        crypto::AesCtr ctlTx;
+        crypto::AesCtr ctlRx;
+        uint64_t ctlReqCounter = 0;
+        /** Next expected control reply counter. */
+        uint64_t ctlRespCursor = 0;
+        /** Re-key handshake in flight. */
+        uint32_t rekeyEpoch = 0;
+        unsigned rekeyAttempts = 0;
+        Tick rekeySentTick = 0;
+        std::unique_ptr<crypto::DhEndpoint> dh;
+        /** Response-chunk collection for the current epoch. */
+        uint32_t respCollectEpoch = 0;
+        uint8_t respCollectTotal = 0;
+        uint32_t respCollectMask = 0;
+        std::array<HandshakeChunk, 8> respChunks{};
+        /** Requests held while the channel re-keys. */
+        std::deque<QueuedWrite> rekeyHold;
     };
+
+    /** Route one request after the front-end latency (health-aware). */
+    void dispatch(unsigned channel, MemPacket pkt, PacketCallback cb);
 
     /** Send one request group (real + paired dummy) on a channel. */
     void sendGroup(unsigned channel, MemPacket pkt, PacketCallback cb);
@@ -165,6 +251,45 @@ class ObfusMemProcSide : public SimObject, public MemSink
     uint64_t dummyAddrFor(unsigned channel, uint64_t real_addr);
     uint16_t allocTag(ChannelState &cs);
 
+    // --- Recovery (see obfusmem/recovery.hh) ------------------------
+
+    /** Arm the per-channel retry watchdog if it is not running. */
+    void ensureWatchdog(unsigned channel);
+
+    /** One watchdog period: retransmit overdue groups, escalate. */
+    void watchdogTick(unsigned channel);
+
+    /** Rebuild and resend a pending group at fresh counters. */
+    void retransmitGroup(unsigned channel, uint16_t tag);
+
+    /** Retries exhausted: renegotiate the channel's session key. */
+    void startRekey(unsigned channel);
+
+    /** Send (or resend) the handshake for the next epoch attempt. */
+    void sendRekeyRequest(unsigned channel);
+
+    /** Send one request-group-shaped frame pair on the control plane. */
+    void sendControlGroup(unsigned channel, const DataBlock &payload);
+
+    /**
+     * A reply frame failed header decryption with recovery enabled:
+     * trial-resync forward on the reply stream, interpret it as a
+     * control-plane response, or discard it without consuming a
+     * counter position.
+     */
+    void recoverReplyFrame(unsigned channel, WireMessage msg);
+
+    /** Accumulate a handshake-response chunk from the memory side. */
+    void handleControlReply(unsigned channel,
+                            const HandshakeChunk &chunk);
+
+    /** Install the new epoch key and replay outstanding groups. */
+    void finishRekey(unsigned channel,
+                     const std::vector<uint8_t> &peer_pub);
+
+    /** Give up on a channel after repeated re-key failures. */
+    void quarantineChannel(unsigned channel);
+
     /** Report a request-stream pad run to the auditor, if attached. */
     void notifyPads(unsigned channel, CounterStream stream,
                     uint64_t first, uint64_t count);
@@ -174,6 +299,7 @@ class ObfusMemProcSide : public SimObject, public MemSink
     MacEngine mac;
     std::vector<ChannelState> channelState;
     Random junkRng;
+    Random rekeyRng{0xa11ce000};
     AuditHook *audit = nullptr;
 
     statistics::Scalar realReads, realWrites;
@@ -185,6 +311,9 @@ class ObfusMemProcSide : public SimObject, public MemSink
     statistics::Scalar forwardedFromWriteQueue;
     statistics::Scalar realFillSubstitutions;
     statistics::Scalar pairSubstitutions;
+    statistics::Scalar retransmits, framesDiscarded, resyncs;
+    statistics::Scalar rekeysStarted, rekeysCompleted, quarantines;
+    statistics::Scalar requestsDropped;
     PadPrefetchStats padPrefetch;
 };
 

@@ -5,6 +5,8 @@
 
 #include "obfusmem/wire_format.hh"
 
+#include <algorithm>
+
 namespace obfusmem {
 
 namespace {
@@ -103,6 +105,88 @@ cryptPayloadWithPads(const crypto::Block128 pads[4], const DataBlock &in)
     for (unsigned i = 0; i < 4 && 16 * i < out.size(); ++i)
         crypto::xorInto(out.data() + 16 * i, pads[i].data(), 16);
     return out;
+}
+
+WireMessage
+makeHeaderMessage(const crypto::Block128 &hdr_pad,
+                  const WireHeader &hdr)
+{
+    WireMessage msg;
+    msg.cipherHeader = encryptHeaderWithPad(hdr_pad, hdr);
+    return msg;
+}
+
+WireMessage
+makeDataMessage(const crypto::Block128 &hdr_pad,
+                const crypto::Block128 payload_pads[4],
+                const WireHeader &hdr, const DataBlock &payload)
+{
+    WireMessage msg;
+    msg.cipherHeader = encryptHeaderWithPad(hdr_pad, hdr);
+    msg.hasData = true;
+    msg.cipherData = cryptPayloadWithPads(payload_pads, payload);
+    return msg;
+}
+
+void
+attachMac(WireMessage &msg, const crypto::Md5Digest &digest)
+{
+    msg.hasMac = true;
+    msg.mac = digest;
+}
+
+void
+corruptHeaderBit(WireMessage &msg, uint64_t entropy)
+{
+    size_t bit = static_cast<size_t>(entropy % 128);
+    msg.cipherHeader[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+namespace {
+
+/** Sanity magic marking a payload as a handshake chunk. */
+constexpr uint8_t chunkMagic0 = 0xd4;
+constexpr uint8_t chunkMagic1 = 0x48; // 'H'
+
+} // namespace
+
+DataBlock
+packHandshakeChunk(const HandshakeChunk &c)
+{
+    DataBlock b{};
+    b[0] = chunkMagic0;
+    b[1] = chunkMagic1;
+    b[2] = static_cast<uint8_t>(c.epoch);
+    b[3] = static_cast<uint8_t>(c.epoch >> 8);
+    b[4] = static_cast<uint8_t>(c.epoch >> 16);
+    b[5] = static_cast<uint8_t>(c.epoch >> 24);
+    b[6] = c.chunk;
+    b[7] = c.total;
+    b[8] = static_cast<uint8_t>(c.len);
+    b[9] = static_cast<uint8_t>(c.len >> 8);
+    std::copy_n(c.data.data(), handshakeChunkBytes, b.data() + 10);
+    return b;
+}
+
+std::optional<HandshakeChunk>
+unpackHandshakeChunk(const DataBlock &b)
+{
+    if (b[0] != chunkMagic0 || b[1] != chunkMagic1)
+        return std::nullopt;
+    HandshakeChunk c;
+    c.epoch = static_cast<uint32_t>(b[2])
+              | (static_cast<uint32_t>(b[3]) << 8)
+              | (static_cast<uint32_t>(b[4]) << 16)
+              | (static_cast<uint32_t>(b[5]) << 24);
+    c.chunk = b[6];
+    c.total = b[7];
+    c.len = static_cast<uint16_t>(b[8])
+            | (static_cast<uint16_t>(b[9]) << 8);
+    if (c.total == 0 || c.chunk >= c.total
+        || c.len > handshakeChunkBytes)
+        return std::nullopt;
+    std::copy_n(b.data() + 10, handshakeChunkBytes, c.data.data());
+    return c;
 }
 
 } // namespace obfusmem

@@ -19,6 +19,8 @@
 #ifndef OBFUSMEM_OBFUSMEM_WIRE_FORMAT_HH
 #define OBFUSMEM_OBFUSMEM_WIRE_FORMAT_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -143,6 +145,67 @@ decryptHeaderWithPad(const crypto::Block128 &pad,
 /** Encrypt/decrypt a 64-byte payload with four precomputed pads. */
 DataBlock cryptPayloadWithPads(const crypto::Block128 pads[4],
                                const DataBlock &in);
+
+// --- Fixed-shape message builders -----------------------------------
+//
+// Every message on an obfuscated channel has exactly one of two
+// shapes: header-only, or header + 64-byte payload. All senders --
+// the normal protocol AND the recovery/re-key control plane -- must
+// construct frames through these builders so a frame's wire shape
+// cannot depend on what it carries (enforced by the wire-shape repo
+// lint rule).
+
+/** Build a header-only frame (the "read" half of a group). */
+WireMessage makeHeaderMessage(const crypto::Block128 &hdr_pad,
+                              const WireHeader &hdr);
+
+/** Build a header + full-payload frame (the "write" half). */
+WireMessage makeDataMessage(const crypto::Block128 &hdr_pad,
+                            const crypto::Block128 payload_pads[4],
+                            const WireHeader &hdr,
+                            const DataBlock &payload);
+
+/** Attach an authentication tag to a built frame. */
+void attachMac(WireMessage &msg, const crypto::Md5Digest &digest);
+
+/**
+ * Flip one deterministic bit of the ciphertext header (fault model
+ * for an in-flight corruption; `entropy` selects the bit).
+ */
+void corruptHeaderBit(WireMessage &msg, uint64_t entropy);
+
+// --- Re-key handshake payload codec ---------------------------------
+//
+// DH public values ride inside ordinary-looking 64-byte payloads so
+// handshake frames are wire-identical to data frames. Each chunk
+// carries up to 54 value bytes (64 minus the 10-byte chunk header)
+// plus its position in the sequence.
+
+/** One chunk of a handshake value, on its way through a payload. */
+struct HandshakeChunk
+{
+    /** Re-key round this chunk belongs to. */
+    uint32_t epoch = 0;
+    /** Chunk index within the value (0-based). */
+    uint8_t chunk = 0;
+    /** Total chunks in the value. */
+    uint8_t total = 1;
+    /** Value bytes carried by this chunk. */
+    std::array<uint8_t, 54> data{};
+    uint16_t len = 0;
+};
+
+/** Maximum value bytes per handshake chunk. */
+constexpr size_t handshakeChunkBytes = 54;
+
+/** Serialize a handshake chunk into a payload block. */
+DataBlock packHandshakeChunk(const HandshakeChunk &c);
+
+/**
+ * Parse a payload as a handshake chunk.
+ * @return chunk, or nullopt if the block is not a plausible chunk.
+ */
+std::optional<HandshakeChunk> unpackHandshakeChunk(const DataBlock &b);
 
 } // namespace obfusmem
 

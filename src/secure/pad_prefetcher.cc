@@ -54,13 +54,15 @@ PadPrefetcher::take(uint64_t counter, crypto::Block128 *out)
         head = (head + 1) % depth;
         headCounter += groupSize;
         --cached;
-        ++stats->hits;
+        if (stats)
+            ++stats->hits;
         return;
     }
     // First use, or the consumer's counter moved under us: generate
     // this group directly and reposition the (now empty) window right
     // behind it so the next refill runs ahead again.
-    ++stats->misses;
+    if (stats)
+        ++stats->misses;
     cached = 0;
     head = 0;
     headCounter = counter + groupSize;
@@ -99,8 +101,10 @@ PadPrefetcher::refill()
                         (want - first) * groupSize);
     }
     cached = depth;
-    ++stats->refills;
-    stats->padsPrefetched += static_cast<double>(want * groupSize);
+    if (stats) {
+        ++stats->refills;
+        stats->padsPrefetched += static_cast<double>(want * groupSize);
+    }
 }
 
 void

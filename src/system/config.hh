@@ -12,6 +12,7 @@
 
 #include "cpu/cache_hierarchy.hh"
 #include "cpu/core.hh"
+#include "mem/fault_injector.hh"
 #include "mem/pcm_params.hh"
 #include "obfusmem/params.hh"
 #include "oram/oram_controller.hh"
@@ -69,6 +70,14 @@ struct SystemConfig
     ChannelBus::Params bus{};
     EncryptionParams encryption{};
     ObfusMemParams obfusmem{};
+    /**
+     * Seeded channel fault injection (drop/corrupt/delay/duplicate;
+     * see mem/fault_injector.hh). Attached to the channel buses only
+     * in the ObfusMem modes — the plain path has no recovery protocol
+     * and would wedge on a dropped message. All probabilities default
+     * to zero; OBFUSMEM_FAULT_* env knobs feed Params::fromEnv().
+     */
+    FaultInjector::Params faults{};
     OramFixedLatency::Params oramFixed{};
     OramDetailed::Params oramDetailed{};
 

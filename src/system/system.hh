@@ -87,6 +87,7 @@ class System
     const AddressMap &addressMap() const { return *map; }
     BusObserver *observer() { return busObserver.get(); }
     check::TraceAuditor *auditor() { return traceAuditor.get(); }
+    FaultInjector *faults() { return faultInjector.get(); }
     MemoryEncryptionEngine *encryptionEngine() { return encEngine.get(); }
     ObfusMemProcSide *procSide() { return obfusProc.get(); }
     std::vector<std::unique_ptr<ObfusMemMemSide>> &memSides()
@@ -130,6 +131,7 @@ class System
     std::vector<std::unique_ptr<PcmController>> pcms;
     std::unique_ptr<BusObserver> busObserver;
     std::unique_ptr<check::TraceAuditor> traceAuditor;
+    std::unique_ptr<FaultInjector> faultInjector;
 
     std::vector<crypto::Aes128::Key> channelKeys;
     std::unique_ptr<PlainPath> plainPath;

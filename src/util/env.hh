@@ -14,6 +14,8 @@
 #ifndef OBFUSMEM_UTIL_ENV_HH
 #define OBFUSMEM_UTIL_ENV_HH
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <initializer_list>
@@ -51,9 +53,39 @@ u64(const char *name, uint64_t def)
     const char *v = raw(name);
     if (!v)
         return def;
+    // strtoull is laxer than the documented contract: it skips
+    // leading whitespace, accepts '+'/'-', and clamps overflow to
+    // ULLONG_MAX with errno=ERANGE. Require a leading digit and a
+    // clean errno so all of those take the warn-and-default path.
     char *end = nullptr;
+    errno = 0;
     unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || *end != '\0' || v[0] == '-') {
+    if (v[0] < '0' || v[0] > '9' || end == v || *end != '\0'
+        || errno == ERANGE) {
+        warn(name, "=\"", v, "\" is not a valid number; using default ",
+             def);
+        return def;
+    }
+    return parsed;
+}
+
+/**
+ * Floating-point knob (for probabilities and ratios). Same contract
+ * as u64: a plain non-negative decimal (fractional part allowed),
+ * warn-and-default on anything else, including non-finite results.
+ */
+inline double
+f64(const char *name, double def)
+{
+    const char *v = raw(name);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    errno = 0;
+    double parsed = std::strtod(v, &end);
+    bool leading_digit = (v[0] >= '0' && v[0] <= '9') || v[0] == '.';
+    if (!leading_digit || end == v || *end != '\0' || errno == ERANGE
+        || !std::isfinite(parsed) || parsed < 0) {
         warn(name, "=\"", v, "\" is not a valid number; using default ",
              def);
         return def;

@@ -6,6 +6,7 @@
 #include "util/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 #include "util/logging.hh"
@@ -24,13 +25,25 @@ Histogram::Histogram(double min, double max, size_t num_buckets)
 void
 Histogram::sample(double v)
 {
-    if (count == 0) {
+    ++count;
+    if (!std::isfinite(v)) {
+        // A NaN would fall past both bound checks below into the
+        // bucket-index cast (UB); infinities would poison sum and
+        // min/max. Route them to the under/overflow buckets and keep
+        // them out of the finite aggregates.
+        if (v < lo)
+            ++under;
+        else
+            ++over;
+        return;
+    }
+    if (finite == 0) {
         minSeen = maxSeen = v;
     } else {
         minSeen = std::min(minSeen, v);
         maxSeen = std::max(maxSeen, v);
     }
-    ++count;
+    ++finite;
     sum += v;
 
     if (v < lo) {
@@ -49,7 +62,7 @@ void
 Histogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
-    under = over = count = 0;
+    under = over = count = finite = 0;
     sum = minSeen = maxSeen = 0;
 }
 
@@ -85,14 +98,21 @@ Group::addHistogram(const std::string &name, const Histogram *h,
 void
 Group::dump(std::ostream &os) const
 {
+    auto prefix = [&](const std::string &name) -> std::ostream & {
+        return os << std::left << std::setw(48)
+                  << (qualified + "." + name) << std::right
+                  << std::setw(16);
+    };
     auto line = [&](const std::string &name, double value,
                     const std::string &desc) {
-        os << std::left << std::setw(48) << (qualified + "." + name)
-           << std::right << std::setw(16) << std::fixed
-           << std::setprecision(2) << value;
+        prefix(name) << std::fixed << std::setprecision(2) << value;
         if (!desc.empty())
             os << "  # " << desc;
         os << "\n";
+    };
+    // An empty histogram has no min/max; "-" beats a misleading 0.00.
+    auto blank = [&](const std::string &name) {
+        prefix(name) << "-" << "\n";
     };
 
     for (const auto &e : scalars)
@@ -103,8 +123,13 @@ Group::dump(std::ostream &os) const
         line(e.name + ".mean", e.stat->mean(), e.desc);
         line(e.name + ".samples",
              static_cast<double>(e.stat->samples()), "");
-        line(e.name + ".min", e.stat->minSample(), "");
-        line(e.name + ".max", e.stat->maxSample(), "");
+        if (e.stat->finiteSamples() == 0) {
+            blank(e.name + ".min");
+            blank(e.name + ".max");
+        } else {
+            line(e.name + ".min", e.stat->minSample(), "");
+            line(e.name + ".max", e.stat->maxSample(), "");
+        }
     }
     for (const auto *child : children)
         child->dump(os);

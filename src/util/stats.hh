@@ -66,7 +66,8 @@ class Histogram
     void reset();
 
     uint64_t samples() const { return count; }
-    double mean() const { return count ? sum / count : 0.0; }
+    uint64_t finiteSamples() const { return finite; }
+    double mean() const { return finite ? sum / finite : 0.0; }
     double minSample() const { return minSeen; }
     double maxSample() const { return maxSeen; }
     const std::vector<uint64_t> &buckets() const { return counts; }
@@ -79,6 +80,7 @@ class Histogram
     std::vector<uint64_t> counts;
     uint64_t under = 0, over = 0;
     uint64_t count = 0;
+    uint64_t finite = 0;
     double sum = 0;
     double minSeen = 0, maxSeen = 0;
 };

@@ -131,7 +131,7 @@ TEST_F(BusFixture, SixtyFourBytesTakeFiveNs)
 {
     Tick delivered = 0;
     bus.send(BusDir::ToMemory, 64, 0, false,
-             [&]() { delivered = eq.curTick(); });
+             [&](const BusFault &) { delivered = eq.curTick(); });
     eq.run();
     // 64 B at 12.8 GB/s = 5 ns burst + 1 ns propagation.
     EXPECT_EQ(delivered, 6 * tickPerNs);
@@ -142,7 +142,7 @@ TEST_F(BusFixture, MessagesSerializeFifo)
     std::vector<Tick> deliveries;
     for (int i = 0; i < 3; ++i) {
         bus.send(BusDir::ToMemory, 64, i, false,
-                 [&]() { deliveries.push_back(eq.curTick()); });
+                 [&](const BusFault &) { deliveries.push_back(eq.curTick()); });
     }
     eq.run();
     ASSERT_EQ(deliveries.size(), 3u);
@@ -155,7 +155,7 @@ TEST_F(BusFixture, CommandOnlyMessagesAreCheap)
 {
     Tick delivered = 0;
     bus.send(BusDir::ToMemory, 0, 0, false,
-             [&]() { delivered = eq.curTick(); });
+             [&](const BusFault &) { delivered = eq.curTick(); });
     eq.run();
     EXPECT_EQ(delivered, 1250u + 1000u); // command slot + propagation
 }
@@ -163,7 +163,7 @@ TEST_F(BusFixture, CommandOnlyMessagesAreCheap)
 TEST_F(BusFixture, IdleTracksActivity)
 {
     EXPECT_TRUE(bus.idle());
-    bus.send(BusDir::ToMemory, 64, 0, false, []() {});
+    bus.send(BusDir::ToMemory, 64, 0, false, [](const BusFault &) {});
     EXPECT_FALSE(bus.idle());
     eq.run();
     EXPECT_TRUE(bus.idle());
@@ -178,8 +178,8 @@ TEST_F(BusFixture, ProbeSeesWireFacts)
     } probe;
     bus.attachProbe(&probe);
 
-    bus.send(BusDir::ToMemory, 64, 0xdead, true, []() {});
-    bus.send(BusDir::ToProcessor, 32, 0xbeef, false, []() {});
+    bus.send(BusDir::ToMemory, 64, 0xdead, true, [](const BusFault &) {});
+    bus.send(BusDir::ToProcessor, 32, 0xbeef, false, [](const BusFault &) {});
     eq.run();
 
     ASSERT_EQ(probe.seen.size(), 2u);
@@ -193,7 +193,7 @@ TEST_F(BusFixture, ProbeSeesWireFacts)
 
 TEST_F(BusFixture, UtilizationAccounting)
 {
-    bus.send(BusDir::ToMemory, 128, 0, false, []() {});
+    bus.send(BusDir::ToMemory, 128, 0, false, [](const BusFault &) {});
     eq.run();
     // 10 ns busy out of 10 ns elapsed transfer time (bus frees at
     // burst end; event at 11 ns for delivery).

@@ -220,8 +220,11 @@ TEST(ObfusMem, CountersStaySynchronized)
 TEST(ObfusMem, DroppedMessageDetectedAsDesync)
 {
     // Model an attacker deleting a request: the memory-side counter
-    // no longer matches, so every subsequent message fails.
-    System sys(smallConfig(ProtectionMode::ObfusMemAuth));
+    // no longer matches, so every subsequent message fails. Recovery
+    // off: this test pins down the legacy fail-stop semantics.
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.recovery.enabled = false;
+    System sys(cfg);
     DataBlock data = patternBlock(1);
     sys.timedStore(0, 0x5000, data, [](Tick) {});
     sys.eventQueue().run();
@@ -241,7 +244,9 @@ TEST(ObfusMem, DroppedMessageDetectedAsDesync)
 
 TEST(ObfusMem, ReplayedReplyDetected)
 {
-    System sys(smallConfig(ProtectionMode::ObfusMemAuth));
+    SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.recovery.enabled = false; // pin fail-stop semantics
+    System sys(cfg);
     sys.procSide()->skewResponseCounter(0, 5); // one lost reply
     bool completed = false;
     sys.timedLoad(0, 0x40000000, [&](Tick) { completed = true; });
@@ -516,6 +521,33 @@ TEST(PadPrefetch, PrefetchedRunStaysFunctional)
               0.0);
 }
 
+TEST(PadPrefetch, NullStatsPointerIsSafe)
+{
+    // The prefetcher is usable standalone (tools, future endpoints)
+    // without a stats block; every counter touch must be guarded.
+    crypto::Aes128::Key key{};
+    key[0] = 0x5a;
+    crypto::AesCtr ctr(key, 17);
+    PadPrefetcher ring;
+    ring.configure(ctr, countersPerRequestGroup, 4, nullptr);
+
+    GroupPads direct = genGroupPads(ctr, 0);
+    std::array<crypto::Block128, countersPerRequestGroup> out{};
+    ring.take(0, out.data());
+    EXPECT_EQ(std::memcmp(out.data(), direct.pad.data(),
+                          sizeof(out)),
+              0);
+    if (ring.shouldScheduleRefill())
+        ring.refill();
+    ring.take(countersPerRequestGroup, out.data()); // ring hit
+    ring.invalidate();
+    ring.take(5 * countersPerRequestGroup, out.data()); // cold miss
+    GroupPads direct2 = genGroupPads(ctr, 5 * countersPerRequestGroup);
+    EXPECT_EQ(std::memcmp(out.data(), direct2.pad.data(),
+                          sizeof(out)),
+              0);
+}
+
 TEST(PadPrefetch, CounterSkewStillDetectedWithPrefetchOn)
 {
     // The prefetch ring must not mask a desync: skewing the memory-
@@ -524,6 +556,7 @@ TEST(PadPrefetch, CounterSkewStillDetectedWithPrefetchOn)
     // shifted stream to garbage exactly as before.
     SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
     cfg.obfusmem.padPrefetchDepth = 8;
+    cfg.obfusmem.recovery.enabled = false; // pin fail-stop semantics
     System sys(cfg);
     DataBlock data = patternBlock(2);
     sys.timedStore(0, 0x5000, data, [](Tick) {});
@@ -544,6 +577,7 @@ TEST(PadPrefetch, ReplySkewStillDetectedWithPrefetchOn)
 {
     SystemConfig cfg = smallConfig(ProtectionMode::ObfusMemAuth);
     cfg.obfusmem.padPrefetchDepth = 8;
+    cfg.obfusmem.recovery.enabled = false; // pin fail-stop semantics
     System sys(cfg);
     sys.procSide()->skewResponseCounter(0, 5);
     bool completed = false;

@@ -173,7 +173,9 @@ TEST(TraceAuditor, ViolationReportCarriesContext)
 
 TEST(TraceAuditor, DroppedMessageFlagged)
 {
-    System sys(auditedConfig(ProtectionMode::ObfusMemAuth));
+    SystemConfig cfg = auditedConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.recovery.enabled = false; // pin fail-stop semantics
+    System sys(cfg);
     DataBlock data = patternBlock(1);
     sys.timedStore(0, 0x5000, data, [](Tick) {});
     sys.eventQueue().run();
@@ -196,7 +198,9 @@ TEST(TraceAuditor, DroppedMessageFlagged)
 
 TEST(TraceAuditor, ReplayedReplyStreamFlagged)
 {
-    System sys(auditedConfig(ProtectionMode::ObfusMemAuth));
+    SystemConfig cfg = auditedConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.recovery.enabled = false; // pin fail-stop semantics
+    System sys(cfg);
     sys.procSide()->skewResponseCounter(0, 5); // one lost reply
     bool completed = false;
     sys.timedLoad(0, 0x40000000, [&](Tick) { completed = true; });
@@ -239,7 +243,9 @@ TEST(TraceAuditor, BitFlippedHeaderFlagged)
 
 TEST(TraceAuditor, ReplayedRequestMessageFlagged)
 {
-    System sys(auditedConfig(ProtectionMode::ObfusMemAuth));
+    SystemConfig cfg = auditedConfig(ProtectionMode::ObfusMemAuth);
+    cfg.obfusmem.recovery.enabled = false; // pin fail-stop semantics
+    System sys(cfg);
     // Man-in-the-middle: deliver every request message twice. The
     // memory side burns pads for the duplicates, so its counters run
     // ahead and the streams diverge.

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "util/bitops.hh"
+#include "util/env.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 
@@ -225,4 +228,71 @@ TEST(Stats, GroupHierarchyAndDump)
     EXPECT_NE(oss.str().find("root.child.counter"), std::string::npos);
     EXPECT_NE(oss.str().find("42"), std::string::npos);
     EXPECT_EQ(child.scalarValue("counter"), 42.0);
+}
+
+TEST(Stats, HistogramIgnoresNonFiniteForMinMaxAndMean)
+{
+    statistics::Histogram h(0, 10, 10);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.finiteSamples(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+
+    h.sample(4.0);
+    EXPECT_EQ(h.finiteSamples(), 1u);
+    EXPECT_EQ(h.minSample(), 4.0);
+    EXPECT_EQ(h.maxSample(), 4.0);
+    EXPECT_EQ(h.mean(), 4.0);
+}
+
+TEST(Stats, EmptyHistogramDumpsDashForMinMax)
+{
+    statistics::Group root("root", nullptr);
+    statistics::Histogram h(0, 10, 10);
+    root.addHistogram("lat", &h, "latency");
+    std::ostringstream oss;
+    root.dump(oss);
+    EXPECT_NE(oss.str().find("root.lat.min"), std::string::npos);
+    EXPECT_NE(oss.str().find("-"), std::string::npos);
+
+    h.sample(2.0);
+    std::ostringstream oss2;
+    root.dump(oss2);
+    EXPECT_NE(oss2.str().find("2.00"), std::string::npos);
+}
+
+TEST(Env, U64RejectsMalformedValues)
+{
+    setenv("OBFUSMEM_TEST_KNOB", "123", 1);
+    EXPECT_EQ(env::u64("OBFUSMEM_TEST_KNOB", 7), 123u);
+
+    // strtoull would silently accept all of these; the knob parser
+    // must warn-and-default instead.
+    for (const char *bad :
+         {" 42", "+42", "-1", "42x", "", "0x10",
+          "99999999999999999999999999"}) {
+        setenv("OBFUSMEM_TEST_KNOB", bad, 1);
+        EXPECT_EQ(env::u64("OBFUSMEM_TEST_KNOB", 7), 7u) << bad;
+    }
+    unsetenv("OBFUSMEM_TEST_KNOB");
+    EXPECT_EQ(env::u64("OBFUSMEM_TEST_KNOB", 7), 7u);
+}
+
+TEST(Env, F64ParsesProbabilitiesAndRejectsJunk)
+{
+    setenv("OBFUSMEM_TEST_KNOB", "0.125", 1);
+    EXPECT_DOUBLE_EQ(env::f64("OBFUSMEM_TEST_KNOB", 0.5), 0.125);
+    setenv("OBFUSMEM_TEST_KNOB", ".5", 1);
+    EXPECT_DOUBLE_EQ(env::f64("OBFUSMEM_TEST_KNOB", 0.0), 0.5);
+
+    for (const char *bad :
+         {" 0.5", "+0.5", "-0.5", "nan", "inf", "0.5x", ""}) {
+        setenv("OBFUSMEM_TEST_KNOB", bad, 1);
+        EXPECT_DOUBLE_EQ(env::f64("OBFUSMEM_TEST_KNOB", 0.25), 0.25)
+            << bad;
+    }
+    unsetenv("OBFUSMEM_TEST_KNOB");
+    EXPECT_DOUBLE_EQ(env::f64("OBFUSMEM_TEST_KNOB", 0.25), 0.25);
 }

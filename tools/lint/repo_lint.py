@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific security lints for the ObfusMem simulator.
 
-Five rules, each encoding an invariant the generic toolchain cannot
+Seven rules, each encoding an invariant the generic toolchain cannot
 know about:
 
   weak-rng        rand()/std::rand() anywhere outside src/util/random:
@@ -28,6 +28,15 @@ know about:
                   pipeline and the trace auditor's pad ledgers hang
                   off. Consume AesCtr / PadPrefetcher / IvPadMemo
                   instead; nested types (Aes128::Key) stay fine.
+  wire-shape      an assignment to a WireMessage field (cipherHeader,
+                  hasData, cipherData, hasMac, mac) in src/ outside
+                  src/obfusmem/wire_format.*: every frame on the
+                  channel — including recovery retransmits and the
+                  re-key control handshake — must be built through
+                  makeHeaderMessage / makeDataMessage / attachMac so
+                  a hand-rolled frame can never differ in shape from
+                  normal traffic and leak through the obliviousness
+                  argument.
 
 Exit status is the number of findings (0 == clean). Run from anywhere;
 paths resolve relative to the repo root. `--self-test` checks the
@@ -74,6 +83,13 @@ PKT_NAME_RE = re.compile(r"\b\w*pkt\w*\b", re.IGNORECASE)
 AES_DIRECT_RE = re.compile(r"\b(?:crypto\s*::\s*)?Aes128\b(?!\s*::)")
 AES_ALLOWED = ("src/crypto/",)
 COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+
+# A plain assignment to a WireMessage field. The negative lookahead
+# keeps comparisons (==) out; compound operators (^=, |=) never match
+# because the field name must be followed directly by `=`.
+WIRE_SHAPE_RE = re.compile(
+    r"\.(cipherHeader|hasData|cipherData|hasMac|mac)\s*=(?!=)")
+WIRE_SHAPE_ALLOWED = ("src/obfusmem/wire_format.",)
 
 
 def finding(path, line_no, rule, message):
@@ -187,6 +203,24 @@ def lint_aes_dispatch(rel, lines):
                 "Aes128::Key are fine)"
 
 
+def lint_wire_shape(rel, lines):
+    if not rel.startswith("src/"):
+        return  # tests corrupt and hand-build frames on purpose
+    if any(rel.startswith(p) for p in WIRE_SHAPE_ALLOWED):
+        return  # the builders' home
+    for no, line in lines:
+        if COMMENT_RE.match(line):
+            continue
+        m = WIRE_SHAPE_RE.search(line)
+        if m:
+            yield no, "wire-shape", \
+                f"direct assignment to WireMessage field " \
+                f"`{m.group(1)}`; build frames through " \
+                "makeHeaderMessage/makeDataMessage/attachMac so " \
+                "recovery and control traffic keep the exact shape " \
+                "of normal traffic"
+
+
 def lint_text(rel, text):
     """All findings for one file's contents (testable entry point)."""
     lines = [(i + 1, l) for i, l in enumerate(text.splitlines())
@@ -198,6 +232,7 @@ def lint_text(rel, text):
     out.extend(lint_include_guard(rel, text))
     out.extend(lint_packet_capture(rel, text))
     out.extend(lint_aes_dispatch(rel, lines))
+    out.extend(lint_wire_shape(rel, lines))
     return out
 
 
@@ -247,6 +282,17 @@ SELF_TEST_CASES = [
     ("src/obfusmem/mem_side.cc",
      "    Aes128 cipher(session_key);\n",
      "aes-dispatch"),
+    # A hand-rolled frame skips the fixed-shape builders; a recovery
+    # path doing this would leak through the obliviousness argument.
+    ("src/obfusmem/proc_side.cc",
+     "    msg.cipherHeader = encryptHeaderWithPad(pads.header, hdr);\n",
+     "wire-shape"),
+    ("src/obfusmem/recovery.cc",
+     "    frame.hasMac = false;\n",
+     "wire-shape"),
+    ("src/mem/channel_bus.cc",
+     "    out.mac = computed;\n",
+     "wire-shape"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -277,6 +323,17 @@ SELF_TEST_CLEAN = [
      "    Aes128 aes(key);\n"),
     ("src/secure/encryption_engine.cc",
      "    // pads come from Aes128 behind the AesCtr dispatch\n"),
+    # The builders' home, reads, comparisons, and deliberate test
+    # corruption stay out of wire-shape's scope.
+    ("src/obfusmem/wire_format.cc",
+     "    msg.cipherHeader = encryptHeaderWithPad(hdr_pad, hdr);\n"
+     "    msg.hasData = true;\n"),
+    ("src/obfusmem/mem_side.cc",
+     "    if (!msg.hasData) return;\n"
+     "    bool ok = crypto::ctEqual(msg.mac, expected);\n"),
+    ("tests/test_recovery.cc",
+     "    msg.cipherHeader[0] ^= 0x01;\n"
+     "    msg.hasMac = false;\n"),
 ]
 
 
