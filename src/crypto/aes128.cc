@@ -259,10 +259,10 @@ Aes128::defaultImpl()
 }
 
 void
-Aes128::setKey(const Key &key)
+Aes128::setKey(OBF_SECRET const Key &key)
 {
     // FIPS-197 key expansion for Nk=4, Nr=10.
-    uint8_t w[176];
+    OBF_SECRET uint8_t w[176];
     for (int i = 0; i < 16; ++i)
         w[i] = key[i];
 

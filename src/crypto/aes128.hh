@@ -32,6 +32,7 @@
 #include <cstdint>
 
 #include "crypto/bytes.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 namespace crypto {
@@ -80,7 +81,7 @@ class Aes128
     explicit Aes128(const Key &key) { setKey(key); }
 
     /** Run the key schedule for a new key. */
-    void setKey(const Key &key);
+    void setKey(OBF_SECRET const Key &key);
 
     /** Encrypt one 16-byte block. */
     Block128 encryptBlock(const Block128 &plaintext) const;
@@ -122,9 +123,9 @@ class Aes128
     Block128 encryptReference(const Block128 &plaintext) const;
 
     /** Expanded round keys (byte layout, shared by all impls). */
-    RoundKeys roundKeys{};
+    OBF_SECRET RoundKeys roundKeys{};
     /** The same schedule as little-endian column words (T-table path). */
-    std::array<std::array<uint32_t, 4>, 11> roundKeyWords{};
+    OBF_SECRET std::array<std::array<uint32_t, 4>, 11> roundKeyWords{};
     AesImpl implChoice = defaultImpl();
     bool keyed = false;
 };
@@ -139,9 +140,9 @@ namespace detail {
  * aesniCompiledIn() reports false, which keeps the dispatch honest.
  */
 bool aesniCompiledIn();
-Block128 aesniEncryptBlock(const Aes128::RoundKeys &schedule,
+Block128 aesniEncryptBlock(OBF_SECRET const Aes128::RoundKeys &schedule,
                            const Block128 &plaintext);
-void aesniEncryptBlocks(const Aes128::RoundKeys &schedule,
+void aesniEncryptBlocks(OBF_SECRET const Aes128::RoundKeys &schedule,
                         const Block128 *in, Block128 *out, size_t n);
 
 } // namespace detail

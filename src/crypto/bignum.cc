@@ -389,6 +389,61 @@ BigUint::powMod(const BigUint &e, const BigUint &m) const
     return result;
 }
 
+void
+BigUint::ctSwap(BigUint &a, BigUint &b, bool swap, size_t limbs_n)
+{
+    a.limbs.resize(limbs_n, 0);
+    b.limbs.resize(limbs_n, 0);
+    // All-ones when swapping, all-zeros otherwise; the loop body is
+    // identical either way, so the swap decision never reaches a
+    // branch or a distinguishable store pattern.
+    const uint32_t mask = 0u - static_cast<uint32_t>(swap);
+    for (size_t i = 0; i < limbs_n; ++i) {
+        uint32_t diff = (a.limbs[i] ^ b.limbs[i]) & mask;
+        a.limbs[i] ^= diff;
+        b.limbs[i] ^= diff;
+    }
+}
+
+BigUint
+BigUint::powModCt(OBF_SECRET const BigUint &e, const BigUint &m,
+                  size_t ebits) const
+{
+    fatal_if(m.isZero(), "powModCt with zero modulus");
+    fatal_if(OBF_DECLASSIFY(e.bitLength() > ebits,
+                            "reveals only that a public width bound "
+                            "was violated, then aborts"),
+             "powModCt: exponent wider than its public bound");
+    if (m == BigUint(1))
+        return BigUint();
+
+    // Montgomery ladder with masked swaps. The invariant is
+    // r1 = r0 * base (mod m); each iteration performs exactly one
+    // multiply and one square whether the exponent bit is 0 or 1, and
+    // the trip count is the public bound `ebits`, not e.bitLength(),
+    // so leading zero bits of the exponent cost the same as set bits.
+    BigUint r0(1);
+    BigUint r1 = *this % m;
+    // mulMod results are < m; one spare limb covers the swap padding.
+    const size_t width = m.limbs.size() + 1;
+    bool swap = false;
+    for (size_t i = ebits; i-- > 0;) {
+        const bool bit = e.bit(i);
+        swap = swap != bit;
+        ctSwap(r0, r1, swap, width);
+        // ctSwap pads both operands to `width` limbs; restore the
+        // no-leading-zero invariant compare()/divmod() rely on.
+        r0.trim();
+        r1.trim();
+        swap = bit;
+        r1 = r0.mulMod(r1, m);
+        r0 = r0.mulMod(r0, m);
+    }
+    ctSwap(r0, r1, swap, width);
+    r0.trim();
+    return r0;
+}
+
 BigUint
 BigUint::gcd(BigUint a, BigUint b)
 {

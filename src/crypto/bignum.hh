@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/secret.hh"
+
 namespace obfusmem {
 
 class Random;
@@ -70,8 +72,30 @@ class BigUint
 
     /** (this * b) mod m. */
     BigUint mulMod(const BigUint &b, const BigUint &m) const;
-    /** this^e mod m via square-and-multiply. */
+
+    /**
+     * this^e mod m via square-and-multiply. The multiply is only
+     * performed for set exponent bits and the loop trip count is
+     * e.bitLength(), so both the time and the operation sequence leak
+     * the exponent: ONLY for public exponents (RSA verification,
+     * Miller-Rabin witnesses). Secret exponents must use powModCt.
+     */
     BigUint powMod(const BigUint &e, const BigUint &m) const;
+
+    /**
+     * this^e mod m via a Montgomery ladder for secret exponents (DH
+     * private exponents, RSA signing). Every iteration performs the
+     * same two mulMods regardless of the bit value, operands are
+     * selected with limb-level masked swaps instead of branches, and
+     * the trip count is fixed by the public bound `ebits` (>=
+     * e.bitLength(); callers pass the modulus or group-order width),
+     * so neither the time nor the memory-access sequence depends on
+     * which exponent bits are set. Residual caveat (DESIGN.md Sec.
+     * 11): limb arithmetic underneath is still value-dependent
+     * variable-time; the ladder removes the structural per-bit leak.
+     */
+    BigUint powModCt(OBF_SECRET const BigUint &e, const BigUint &m,
+                     size_t ebits) const;
 
     /** Greatest common divisor. */
     static BigUint gcd(BigUint a, BigUint b);
@@ -94,6 +118,16 @@ class BigUint
 
   private:
     void trim();
+
+    /**
+     * Branch-free conditional swap: exchanges a and b when `swap` is
+     * true, using masked limb operations over a fixed capacity of
+     * `limbs` limbs so the memory-access pattern is identical either
+     * way. Both values are padded to `limbs` limbs on entry and
+     * trimmed on exit.
+     */
+    static void ctSwap(BigUint &a, BigUint &b, bool swap,
+                       size_t limbs);
 
     /** Little-endian base-2^32 limbs; empty means zero. */
     std::vector<uint32_t> limbs;

@@ -16,6 +16,7 @@
 
 #include "crypto/aes128.hh"
 #include "crypto/bytes.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 namespace crypto {
@@ -34,12 +35,12 @@ class AesCtr
      * @param key AES-128 key.
      * @param nonce Domain-separation nonce in the IV's upper half.
      */
-    AesCtr(const Aes128::Key &key, uint64_t nonce);
+    AesCtr(OBF_SECRET const Aes128::Key &key, uint64_t nonce);
 
-    void setKey(const Aes128::Key &key, uint64_t nonce);
+    void setKey(OBF_SECRET const Aes128::Key &key, uint64_t nonce);
 
     /** Generate the pad for one counter value. */
-    Block128 pad(uint64_t counter) const;
+    OBF_SECRET Block128 pad(uint64_t counter) const;
 
     /**
      * Generate the `n` consecutive pads [counter, counter + n) in one
@@ -48,7 +49,8 @@ class AesCtr
      * out of a single call, amortizing the per-call AES dispatch.
      * Identical output to calling pad() n times.
      */
-    void genPads(uint64_t counter, Block128 *out, size_t n) const;
+    void genPads(uint64_t counter, OBF_SECRET Block128 *out,
+                 size_t n) const;
 
     /**
      * XOR consecutive pads [counter, counter + ceil(len/16)) over the
@@ -65,7 +67,7 @@ class AesCtr
      * encryption engine packs page/block counters instead - see
      * MemoryEncryptionIv). `ivs` and `out` may alias.
      */
-    void padsForIvs(const Block128 *ivs, Block128 *out,
+    void padsForIvs(const Block128 *ivs, OBF_SECRET Block128 *out,
                     size_t n) const;
 
   private:

@@ -5,12 +5,28 @@
 
 #include "crypto/dh.hh"
 
+#include "crypto/bytes.hh"
 #include "crypto/md5.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
 namespace obfusmem {
 namespace crypto {
+
+namespace {
+
+/**
+ * Public width bound of a group's private exponents: 256-bit
+ * exponents provide ~128-bit security in a 2048-bit group. Also the
+ * ladder trip count in powModCt, so it must depend only on the group.
+ */
+size_t
+exponentBits(const DhGroup &group)
+{
+    return std::min<size_t>(256, group.prime.bitLength() - 2);
+}
+
+} // namespace
 
 const DhGroup &
 DhGroup::modp2048()
@@ -51,10 +67,13 @@ DhGroup::testGroup256()
 DhEndpoint::DhEndpoint(const DhGroup &group_, Random &rng)
     : group(group_)
 {
-    // 256-bit exponents provide ~128-bit security in a 2048-bit group.
-    size_t exp_bits = std::min<size_t>(256, group.prime.bitLength() - 2);
+    size_t exp_bits = exponentBits(group);
     privateExp = BigUint::randomBits(exp_bits, rng);
-    publicVal = group.generator.powMod(privateExp, group.prime);
+    // The exponent is the session's root secret: use the ladder, not
+    // square-and-multiply, so deriving the public value does not leak
+    // the exponent's Hamming weight or bit positions through timing.
+    publicVal =
+        group.generator.powModCt(privateExp, group.prime, exp_bits);
 }
 
 BigUint
@@ -64,16 +83,21 @@ DhEndpoint::computeShared(const BigUint &peer_public) const
              "DH peer public value out of range");
     fatal_if(peer_public == BigUint(1),
              "DH peer public value is degenerate");
-    return peer_public.powMod(privateExp, group.prime);
+    return peer_public.powModCt(privateExp, group.prime,
+                                exponentBits(group));
 }
 
 Aes128::Key
-DhEndpoint::deriveSessionKey(const BigUint &shared)
+DhEndpoint::deriveSessionKey(OBF_SECRET const BigUint &shared)
 {
     std::vector<uint8_t> bytes = shared.toBytes();
     Md5Digest d = Md5::digest(bytes.data(), bytes.size());
     Aes128::Key key;
     std::copy(d.begin(), d.end(), key.begin());
+    // The serialized shared secret and its digest (== the session
+    // key) must not outlive this derivation on the stack/heap.
+    secureZero(bytes.data(), bytes.size());
+    secureZero(d);
     return key;
 }
 

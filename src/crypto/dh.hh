@@ -13,6 +13,7 @@
 
 #include "crypto/aes128.hh"
 #include "crypto/bignum.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -47,21 +48,24 @@ class DhEndpoint
     DhEndpoint(const DhGroup &group, Random &rng);
 
     /** Public value g^x mod p to send to the peer. */
-    const BigUint &publicValue() const { return publicVal; }
+    OBF_PUBLIC const BigUint &publicValue() const { return publicVal; }
 
     /** Shared secret (peer_public)^x mod p. */
-    BigUint computeShared(const BigUint &peer_public) const;
+    OBF_SECRET BigUint computeShared(const BigUint &peer_public) const;
 
     /**
      * Derive a 128-bit AES session key from the shared secret via MD5
      * over the secret's byte serialization (a KDF stand-in).
      */
-    static Aes128::Key deriveSessionKey(const BigUint &shared);
+    static OBF_SECRET Aes128::Key
+    deriveSessionKey(OBF_SECRET const BigUint &shared);
 
   private:
     const DhGroup &group;
-    BigUint privateExp;
-    BigUint publicVal;
+    /** The DH private exponent: the root secret of a session. */
+    OBF_SECRET BigUint privateExp;
+    /** g^x mod p is sent on the wire in the clear by protocol. */
+    OBF_PUBLIC BigUint publicVal;
 };
 
 } // namespace crypto

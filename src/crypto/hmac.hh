@@ -15,17 +15,20 @@
 
 #include "crypto/md5.hh"
 #include "crypto/sha1.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 namespace crypto {
 
-/** HMAC-MD5 of msg under key. */
-Md5Digest hmacMd5(const uint8_t *key, size_t key_len,
-                  const uint8_t *msg, size_t msg_len);
+/** HMAC-MD5 of msg under key. The tag is secret MAC material. */
+OBF_SECRET Md5Digest hmacMd5(OBF_SECRET const uint8_t *key,
+                             size_t key_len, const uint8_t *msg,
+                             size_t msg_len);
 
-/** HMAC-SHA1 of msg under key. */
-Sha1Digest hmacSha1(const uint8_t *key, size_t key_len,
-                    const uint8_t *msg, size_t msg_len);
+/** HMAC-SHA1 of msg under key. The tag is secret MAC material. */
+OBF_SECRET Sha1Digest hmacSha1(OBF_SECRET const uint8_t *key,
+                               size_t key_len, const uint8_t *msg,
+                               size_t msg_len);
 
 } // namespace crypto
 } // namespace obfusmem

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "util/secret.hh"
+
 namespace obfusmem {
 namespace crypto {
 
@@ -61,9 +63,15 @@ class Md5
   private:
     void processBlock(const uint8_t *block);
 
-    std::array<uint32_t, 4> state;
+    /**
+     * Hash state and pending input. Secret whenever the absorbed
+     * message is (HMAC keys and transcripts, counter-mode session
+     * material); tainting the context keeps key-derived digests
+     * tracked through the MAC and KDF paths.
+     */
+    OBF_SECRET std::array<uint32_t, 4> state;
     uint64_t totalLen;
-    std::array<uint8_t, 64> buffer;
+    OBF_SECRET std::array<uint8_t, 64> buffer;
     size_t bufferLen;
 };
 

@@ -51,7 +51,11 @@ BigUint
 RsaKeyPair::sign(const uint8_t *msg, size_t len) const
 {
     BigUint h = hashToInt(msg, len, pub.modulus);
-    return h.powMod(privateExp, pub.modulus);
+    // d < phi(n) < n, so the modulus width is a public bound on the
+    // private exponent; the ladder keeps signing time independent of
+    // d's bit pattern (verification keeps powMod: e is public).
+    return h.powModCt(privateExp, pub.modulus,
+                      pub.modulus.bitLength());
 }
 
 bool

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "crypto/bignum.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -46,7 +47,8 @@ class RsaKeyPair
      */
     static RsaKeyPair generate(size_t bits, Random &rng);
 
-    const RsaPublicKey &publicKey() const { return pub; }
+    /** Public by definition: blocks taint from the key-pair object. */
+    OBF_PUBLIC const RsaPublicKey &publicKey() const { return pub; }
 
     /** Sign SHA-1(message): returns sig = H(m)^d mod n. */
     BigUint sign(const uint8_t *msg, size_t len) const;
@@ -56,8 +58,10 @@ class RsaKeyPair
                        size_t len, const BigUint &signature);
 
   private:
-    RsaPublicKey pub;
-    BigUint privateExp;
+    /** (n, e) is published with certificates; never secret. */
+    OBF_PUBLIC RsaPublicKey pub;
+    /** The RSA private exponent d. */
+    OBF_SECRET BigUint privateExp;
 };
 
 } // namespace crypto

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/secret.hh"
+
 namespace obfusmem {
 namespace crypto {
 
@@ -37,9 +39,10 @@ class Sha1
   private:
     void processBlock(const uint8_t *block);
 
-    std::array<uint32_t, 5> state;
+    /** Secret for the same reason as Md5::state (see md5.hh). */
+    OBF_SECRET std::array<uint32_t, 5> state;
     uint64_t totalLen;
-    std::array<uint8_t, 64> buffer;
+    OBF_SECRET std::array<uint8_t, 64> buffer;
     size_t bufferLen;
 };
 

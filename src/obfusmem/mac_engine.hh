@@ -24,6 +24,7 @@
 #include "obfusmem/wire_format.hh"
 #include "sim/types.hh"
 #include "util/assert.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -61,9 +62,9 @@ class MacEngine
                    "overlapped MAC latency exceeds the pipeline");
     }
 
-    /** MAC over (type | address | counter). */
-    crypto::Md5Digest compute(const WireHeader &hdr,
-                              uint64_t counter) const;
+    /** MAC over (type | address | counter). The tag is secret. */
+    OBF_SECRET crypto::Md5Digest compute(const WireHeader &hdr,
+                                         uint64_t counter) const;
 
     /**
      * Compute the MACs of a batch of messages in one call — both
@@ -72,11 +73,16 @@ class MacEngine
      * the pipelined MD5 engine per group, not per message).
      */
     void computeBatch(const WireHeader *hdrs, const uint64_t *counters,
-                      crypto::Md5Digest *out, size_t n) const;
+                      OBF_SECRET crypto::Md5Digest *out,
+                      size_t n) const;
 
-    /** Verify a received MAC against local plaintext + counter. */
-    bool verify(const WireHeader &hdr, uint64_t counter,
-                const crypto::Md5Digest &mac) const;
+    /**
+     * Verify a received MAC against local plaintext + counter. The
+     * boolean outcome is deliberately public (it drives the tamper
+     * fail-stop); the comparison inside goes through crypto::ctEqual.
+     */
+    OBF_PUBLIC bool verify(const WireHeader &hdr, uint64_t counter,
+                           OBF_SECRET const crypto::Md5Digest &mac) const;
 
     /** Latency added on the sender side. */
     Tick senderLatency() const

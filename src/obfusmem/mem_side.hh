@@ -24,6 +24,7 @@
 #include "secure/pad_prefetcher.hh"
 #include "sim/sim_object.hh"
 #include "util/random.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -36,7 +37,7 @@ class ObfusMemMemSide : public SimObject
     ObfusMemMemSide(const std::string &name, EventQueue &eq,
                     statistics::Group *parent,
                     const ObfusMemParams &params, unsigned channel_id,
-                    const crypto::Aes128::Key &session_key,
+                    OBF_SECRET const crypto::Aes128::Key &session_key,
                     ChannelBus &bus, PcmController &pcm,
                     const BackingStore &store, uint64_t dummy_addr);
 
@@ -103,8 +104,9 @@ class ObfusMemMemSide : public SimObject
     }
 
   private:
-    void handleRequest(const WireHeader &hdr, bool has_data,
-                       const DataBlock &plain_data, uint64_t hdr_ctr);
+    void handleRequest(OBF_SECRET const WireHeader &hdr, bool has_data,
+                       OBF_SECRET const DataBlock &plain_data,
+                       uint64_t hdr_ctr);
     void sendReadReply(const WireHeader &req_hdr,
                        const DataBlock &data);
 
@@ -155,7 +157,8 @@ class ObfusMemMemSide : public SimObject
      * group's first message arrives and reused for the second — the
      * hardware analogue of running the AES pipeline once per group.
      */
-    std::array<crypto::Block128, countersPerRequestGroup> groupPads{};
+    OBF_SECRET std::array<crypto::Block128, countersPerRequestGroup>
+        groupPads{};
     bool groupPadsValid = false;
     uint64_t respCounter = 0;
 

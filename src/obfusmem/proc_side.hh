@@ -28,6 +28,7 @@
 #include "secure/pad_prefetcher.hh"
 #include "sim/sim_object.hh"
 #include "util/random.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -48,7 +49,7 @@ class ObfusMemProcSide : public SimObject, public MemSink
                      statistics::Group *parent,
                      const ObfusMemParams &params,
                      const AddressMap &map,
-                     const std::vector<crypto::Aes128::Key>
+                     OBF_SECRET const std::vector<crypto::Aes128::Key>
                          &session_keys,
                      const std::vector<ChannelBus *> &buses,
                      const std::vector<uint64_t> &dummy_addrs);
@@ -158,9 +159,11 @@ class ObfusMemProcSide : public SimObject, public MemSink
          */
         Tick lastSend = 0;
         unsigned attempts = 0;
-        WireHeader rbFirst{};
-        WireHeader rbSecond{};
-        DataBlock rbPayload{};
+        /** Plaintext headers/payload held for rebuild: secret until
+         * re-encrypted at fresh counters. */
+        OBF_SECRET WireHeader rbFirst{};
+        OBF_SECRET WireHeader rbSecond{};
+        OBF_SECRET DataBlock rbPayload{};
     };
 
     /** A write group waiting in the controller's write buffer. */

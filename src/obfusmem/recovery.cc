@@ -46,12 +46,14 @@ controlKeyFor(const crypto::Aes128::Key &session)
     crypto::Md5Digest d = md5.finalize();
     crypto::Aes128::Key key;
     std::copy(d.begin(), d.end(), key.begin());
+    // The digest *is* the control key; scrub the stack copy.
+    crypto::secureZero(d);
     return key;
 }
 
 crypto::Aes128::Key
-epochSessionKey(const crypto::Aes128::Key &dh_key, uint32_t epoch,
-                unsigned channel)
+epochSessionKey(OBF_SECRET const crypto::Aes128::Key &dh_key,
+                uint32_t epoch, unsigned channel)
 {
     crypto::Md5 md5;
     md5.update(dh_key.data(), dh_key.size());
@@ -62,6 +64,8 @@ epochSessionKey(const crypto::Aes128::Key &dh_key, uint32_t epoch,
     crypto::Md5Digest d = md5.finalize();
     crypto::Aes128::Key key;
     std::copy(d.begin(), d.end(), key.begin());
+    // The digest *is* the epoch data-plane key; scrub the stack copy.
+    crypto::secureZero(d);
     return key;
 }
 

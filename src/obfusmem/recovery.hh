@@ -32,6 +32,7 @@
 
 #include "crypto/aes128.hh"
 #include "sim/types.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -70,14 +71,16 @@ constexpr uint64_t controlNonceBase = 0x10000;
  * replaced, so the control key evolves separately: it is a one-way
  * mix of the *boot* session key and never changes per epoch.
  */
-crypto::Aes128::Key controlKeyFor(const crypto::Aes128::Key &session);
+OBF_SECRET crypto::Aes128::Key
+controlKeyFor(OBF_SECRET const crypto::Aes128::Key &session);
 
 /**
  * Derive the data-plane key of a re-key epoch from the DH-agreed
  * secret key, the epoch number and the channel id.
  */
-crypto::Aes128::Key epochSessionKey(const crypto::Aes128::Key &dh_key,
-                                    uint32_t epoch, unsigned channel);
+OBF_SECRET crypto::Aes128::Key
+epochSessionKey(OBF_SECRET const crypto::Aes128::Key &dh_key,
+                uint32_t epoch, unsigned channel);
 
 } // namespace obfusmem
 

@@ -27,6 +27,7 @@
 #include "secure/merkle.hh"
 #include "secure/pad_prefetcher.hh"
 #include "sim/sim_object.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 
@@ -100,7 +101,7 @@ class MemoryEncryptionEngine : public SimObject, public MemSink
                            MemSink &inner, uint64_t data_capacity,
                            uint64_t counter_region_base,
                            uint64_t bmt_region_base,
-                           const crypto::Aes128::Key &key);
+                           OBF_SECRET const crypto::Aes128::Key &key);
 
     void access(MemPacket pkt, PacketCallback cb) override;
 
@@ -152,7 +153,7 @@ class MemoryEncryptionEngine : public SimObject, public MemSink
 
     /** Generate the 4 pads for one data block. */
     void padsFor(uint64_t addr, const PageCounters &ctrs,
-                 crypto::Block128 out[4]) const;
+                 OBF_SECRET crypto::Block128 out[4]) const;
 
     DataBlock applyPads(uint64_t addr, const PageCounters &ctrs,
                         const DataBlock &in) const;
@@ -229,7 +230,8 @@ class MemoryEncryptionEngine : public SimObject, public MemSink
      */
     struct InflightWrite
     {
-        DataBlock plaintext;
+        /** Un-encrypted write data: the confidentiality target. */
+        OBF_SECRET DataBlock plaintext;
         unsigned count = 0;
     };
     std::unordered_map<uint64_t, InflightWrite> inflightWrites;

@@ -29,6 +29,7 @@
 
 #include "crypto/ctr_mode.hh"
 #include "util/env.hh"
+#include "util/secret.hh"
 #include "util/stats.hh"
 
 namespace obfusmem {
@@ -89,7 +90,7 @@ class PadPrefetcher
      * whose counter was skewed underneath us) is a miss: the group is
      * generated directly and the ring repositions after it.
      */
-    void take(uint64_t counter, crypto::Block128 *out);
+    void take(uint64_t counter, OBF_SECRET crypto::Block128 *out);
 
     /**
      * True when a refill is worth scheduling, marking one pending so
@@ -115,7 +116,7 @@ class PadPrefetcher
     size_t groupSize = 0;
     size_t depth = 0;
     /** depth * groupSize pads; group g lives at [g*groupSize, ...). */
-    std::vector<crypto::Block128> ring;
+    OBF_SECRET std::vector<crypto::Block128> ring;
     /** Ring slot (in groups) of the oldest cached group. */
     size_t head = 0;
     /** Number of valid groups starting at `head`. */
@@ -143,11 +144,12 @@ class IvPadMemo
     void regStats(statistics::Group &g);
 
     /** Copy the memoized pads for `iv` into `out[4]` on a hit. */
-    bool lookup(const crypto::Block128 &iv, crypto::Block128 out[4]);
+    bool lookup(const crypto::Block128 &iv,
+                OBF_SECRET crypto::Block128 out[4]);
 
     /** Record freshly computed pads for `iv`. */
     void insert(const crypto::Block128 &iv,
-                const crypto::Block128 pads[4]);
+                OBF_SECRET const crypto::Block128 pads[4]);
 
   private:
     struct Entry

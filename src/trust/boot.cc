@@ -36,7 +36,7 @@ verifyDhValue(const crypto::RsaPublicKey &key,
 } // namespace
 
 std::vector<crypto::Aes128::Key>
-BootProtocol::deriveChannelKeys(const crypto::BigUint &shared,
+BootProtocol::deriveChannelKeys(OBF_SECRET const crypto::BigUint &shared,
                                 unsigned channels)
 {
     std::vector<crypto::Aes128::Key> keys;
@@ -49,7 +49,12 @@ BootProtocol::deriveChannelKeys(const crypto::BigUint &shared,
         crypto::Aes128::Key key;
         std::copy(d.begin(), d.end(), key.begin());
         keys.push_back(key);
+        // msg holds a copy of the serialized shared secret.
+        crypto::secureZero(msg.data(), msg.size());
+        crypto::secureZero(d);
     }
+    // base is the serialized DH shared secret itself.
+    crypto::secureZero(base.data(), base.size());
     return keys;
 }
 

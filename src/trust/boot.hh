@@ -22,6 +22,7 @@
 #include "crypto/aes128.hh"
 #include "crypto/dh.hh"
 #include "trust/identity.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 namespace trust {
@@ -58,7 +59,7 @@ struct BootResult
     bool success = false;
     std::string failureReason;
     /** One session key per memory channel. */
-    std::vector<crypto::Aes128::Key> channelKeys;
+    OBF_SECRET std::vector<crypto::Aes128::Key> channelKeys;
     /**
      * True if an active attacker holds keys that let it decrypt the
      * session (i.e. the MITM succeeded without detection).
@@ -105,8 +106,8 @@ class BootProtocol
                                   MitmAttacker *attacker);
 
     /** Derive per-channel keys from the DH shared secret. */
-    static std::vector<crypto::Aes128::Key>
-    deriveChannelKeys(const crypto::BigUint &shared,
+    static OBF_SECRET std::vector<crypto::Aes128::Key>
+    deriveChannelKeys(OBF_SECRET const crypto::BigUint &shared,
                       unsigned channels);
 };
 

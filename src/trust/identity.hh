@@ -16,6 +16,7 @@
 
 #include "crypto/rsa.hh"
 #include "crypto/sha1.hh"
+#include "util/secret.hh"
 
 namespace obfusmem {
 namespace trust {
@@ -55,7 +56,7 @@ class Manufacturer
     Manufacturer(std::string name, size_t key_bits, Random &rng);
 
     const std::string &name() const { return manufacturerName; }
-    const crypto::RsaPublicKey &caPublicKey() const
+    OBF_PUBLIC const crypto::RsaPublicKey &caPublicKey() const
     {
         return caKey.publicKey();
     }
@@ -65,7 +66,8 @@ class Manufacturer
 
   private:
     std::string manufacturerName;
-    crypto::RsaKeyPair caKey;
+    /** Holds the CA private exponent. */
+    OBF_SECRET crypto::RsaKeyPair caKey;
 };
 
 /**
@@ -120,13 +122,13 @@ class Component
               size_t key_bits, bool obfusmem_capable, Random &rng);
 
     const std::string &name() const { return componentName; }
-    const crypto::RsaPublicKey &publicKey() const
+    OBF_PUBLIC const crypto::RsaPublicKey &publicKey() const
     {
         return deviceKey.publicKey();
     }
     const Measurement &measurement() const { return selfMeasurement; }
     const Certificate &certificate() const { return cert; }
-    const crypto::RsaPublicKey &manufacturerKey() const
+    OBF_PUBLIC const crypto::RsaPublicKey &manufacturerKey() const
     {
         return makerKey;
     }
@@ -139,7 +141,8 @@ class Component
 
   private:
     std::string componentName;
-    crypto::RsaKeyPair deviceKey;
+    /** Holds the device private exponent. */
+    OBF_SECRET crypto::RsaKeyPair deviceKey;
     Measurement selfMeasurement;
     Certificate cert;
     crypto::RsaPublicKey makerKey;

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Source annotations for the secret-flow analyzer
+ * (tools/analysis/secret_flow.py).
+ *
+ * ObfusMem's obliviousness argument covers what an off-chip snooper
+ * sees on the wire; it says nothing about the *implementation* of the
+ * endpoints. A secret-dependent branch, a secret-indexed table load
+ * or a variable-time library call inside the crypto layer reopens
+ * exactly the timing side channels a Membuster-style bus adversary
+ * amplifies. The analyzer performs interprocedural taint propagation
+ * from declarations marked OBF_SECRET to dangerous sinks and fails CI
+ * on any finding that is neither fixed nor baselined with a written
+ * justification (tools/analysis/baseline.txt).
+ *
+ * Annotation taxonomy (DESIGN.md Sec. 11):
+ *
+ *   OBF_SECRET      the value (or every value stored in the member)
+ *                   is key material, a MAC tag, a pad, or plaintext
+ *                   whose confidentiality the threat model assumes:
+ *                   AES keys and round keys, CTR pads, HMAC keys,
+ *                   DH/RSA private exponents, decrypted payloads.
+ *   OBF_PUBLIC      the declaration looks secret-adjacent (it sits in
+ *                   a crypto type, or receives data derived from a
+ *                   secret) but is public by design: DH public
+ *                   values, RSA public keys, counters that appear on
+ *                   the wire in the clear. OBF_PUBLIC stops taint
+ *                   propagation at this declaration.
+ *   OBF_DECLASSIFY  an expression whose secret-derived value is
+ *                   deliberately released with a written reason, e.g.
+ *                   a ciphertext after encryption, or the comparison
+ *                   result of crypto::ctEqual. The analyzer suppresses
+ *                   findings on the carrying source line and records
+ *                   the reason in its report.
+ *
+ * Under clang the markers compile to [[clang::annotate]] attributes so
+ * the analyzer's clang -ast-dump=json frontend sees them natively; on
+ * other compilers they vanish. The analyzer's built-in "lite" frontend
+ * reads the markers straight from the source text, so annotations work
+ * identically on toolchains without clang. Either way the generated
+ * code is unchanged — annotating is always ABI- and codegen-neutral.
+ */
+
+#ifndef OBFUSMEM_UTIL_SECRET_HH
+#define OBFUSMEM_UTIL_SECRET_HH
+
+#if defined(__clang__)
+#define OBF_SECRET [[clang::annotate("obf_secret")]]
+#define OBF_PUBLIC [[clang::annotate("obf_public")]]
+#else
+#define OBF_SECRET
+#define OBF_PUBLIC
+#endif
+
+/**
+ * Deliberately release a secret-derived value. The reason is a string
+ * literal and is mandatory; the analyzer reports declassification
+ * sites together with their reasons so reviews can audit them.
+ * Evaluates to exactly `expr` on every compiler.
+ */
+#define OBF_DECLASSIFY(expr, reason) (expr)
+
+#endif // OBFUSMEM_UTIL_SECRET_HH

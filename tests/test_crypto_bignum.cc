@@ -193,6 +193,60 @@ TEST(BigUint, PowModFermat)
     }
 }
 
+TEST(BigUint, PowModCtMatchesPowMod)
+{
+    // The Montgomery ladder must compute the same function as
+    // square-and-multiply; only the access pattern differs.
+    Random rng(11);
+    for (int i = 0; i < 20; ++i) {
+        BigUint base = BigUint::randomBits(96, rng);
+        BigUint exp = BigUint::randomBits(64, rng);
+        BigUint mod = BigUint::randomBits(80, rng);
+        if (mod.isZero())
+            mod = BigUint(97);
+        EXPECT_EQ(base.powModCt(exp, mod, 64), base.powMod(exp, mod))
+            << "iteration " << i;
+    }
+}
+
+TEST(BigUint, PowModCtPadsToPublicBound)
+{
+    // Trip count is the public bound, not the exponent's bit length:
+    // a small exponent under a wide bound must still be correct.
+    BigUint base(7), mod(1000003);
+    EXPECT_EQ(base.powModCt(BigUint(0), mod, 256), BigUint(1));
+    EXPECT_EQ(base.powModCt(BigUint(1), mod, 256), base);
+    EXPECT_EQ(base.powModCt(BigUint(2), mod, 256), BigUint(49));
+    EXPECT_EQ(BigUint(0).powModCt(BigUint(5), mod, 256), BigUint());
+}
+
+TEST(BigUint, PowModCtFermat)
+{
+    BigUint p = BigUint::fromHex(
+        "7fffffffffffffffffffffffffffffff"
+        "ffffffffffffffffffffffffffffffed"); // 2^255 - 19
+    Random rng(12);
+    for (int i = 0; i < 3; ++i) {
+        BigUint a = BigUint::randomBits(128, rng);
+        EXPECT_EQ(a.powModCt(p - BigUint(1), p, 255), BigUint(1));
+    }
+}
+
+TEST(BigUint, PowModCtModulusOne)
+{
+    EXPECT_EQ(BigUint(42).powModCt(BigUint(3), BigUint(1), 8),
+              BigUint());
+}
+
+TEST(BigUintDeathTest, PowModCtRejectsExponentOverBound)
+{
+    // An exponent wider than its declared public bound means the
+    // bound was wrong; silently truncating it would be a key bug.
+    BigUint base(3), mod(1000003);
+    EXPECT_DEATH((void)base.powModCt(BigUint(256), mod, 8),
+                 "wider than its public bound");
+}
+
 TEST(BigUint, Gcd)
 {
     EXPECT_EQ(BigUint::gcd(BigUint(12), BigUint(18)), BigUint(6));

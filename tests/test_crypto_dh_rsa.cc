@@ -59,6 +59,24 @@ TEST(Dh, SessionKeyDerivationDeterministic)
               DhEndpoint::deriveSessionKey(s2));
 }
 
+TEST(Dh, SessionKeySurvivesSourceScrubbing)
+{
+    // deriveSessionKey scrubs its intermediate buffers; the returned
+    // key must be intact and usable afterwards, and the caller's
+    // shared-secret argument must not be modified.
+    Random rng(14);
+    const DhGroup &group = DhGroup::testGroup256();
+    DhEndpoint a(group, rng), b(group, rng);
+    BigUint s = a.computeShared(b.publicValue());
+    BigUint s_copy = s;
+    Aes128::Key key = DhEndpoint::deriveSessionKey(s);
+    EXPECT_EQ(s, s_copy);
+    bool all_zero = true;
+    for (uint8_t byte : key)
+        all_zero = all_zero && byte == 0;
+    EXPECT_FALSE(all_zero);
+}
+
 TEST(Dh, PublicValueInRange)
 {
     Random rng(5);
@@ -93,6 +111,17 @@ TEST(Rsa, SignVerifyRoundTrip)
     EXPECT_TRUE(RsaKeyPair::verify(
         kp.publicKey(), reinterpret_cast<const uint8_t *>(msg.data()),
         msg.size(), sig));
+}
+
+TEST(Rsa, SigningIsDeterministic)
+{
+    // Signing goes through the constant-time ladder; it must remain
+    // a deterministic function of (message, key).
+    Random rng(13);
+    RsaKeyPair kp = RsaKeyPair::generate(256, rng);
+    std::string msg = "ladder regression";
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(msg.data());
+    EXPECT_EQ(kp.sign(p, msg.size()), kp.sign(p, msg.size()));
 }
 
 TEST(Rsa, TamperedMessageFailsVerification)

@@ -1,0 +1,24 @@
+// Known-bad: the leaking function carries no annotation at all --
+// taint must flow through the call from the annotated caller into
+// the helper's parameter for the branch to be caught.
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+int
+helperBranches(uint32_t word)
+{
+    if (word & 0x80000000u) // FLAG: secret-branch
+        return 1;
+    return 0;
+}
+
+int
+expandKey(OBF_SECRET uint32_t key_word)
+{
+    return helperBranches(key_word);
+}
+
+} // namespace corpus

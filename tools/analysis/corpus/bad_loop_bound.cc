@@ -1,0 +1,18 @@
+// Known-bad: loop trip count derived from a secret. Total runtime
+// is proportional to the secret, the coarsest timing channel.
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+int
+iterateSecretTimes(OBF_SECRET uint32_t secret_len)
+{
+    int acc = 0;
+    for (uint32_t i = 0; i < secret_len; ++i) // FLAG: secret-branch
+        ++acc;
+    return acc;
+}
+
+} // namespace corpus

@@ -1,0 +1,20 @@
+// Known-bad: control flow conditioned on secret data. The branch
+// direction is observable through timing and the branch predictor.
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+int
+branchOnKeyByte(OBF_SECRET const uint8_t *key, int n)
+{
+    int acc = 0;
+    for (int i = 0; i < n; ++i) {
+        if (key[i] & 1) // FLAG: secret-branch
+            acc += i;
+    }
+    return acc;
+}
+
+} // namespace corpus

@@ -1,0 +1,17 @@
+// Known-bad: table lookup indexed by a secret. The cache line
+// touched depends on the secret value (the classic T-table leak).
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+extern const uint8_t kSbox[256];
+
+uint8_t
+tableLookup(OBF_SECRET uint8_t idx)
+{
+    return kSbox[idx]; // FLAG: secret-index
+}
+
+} // namespace corpus

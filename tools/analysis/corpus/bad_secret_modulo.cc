@@ -1,0 +1,16 @@
+// Known-bad: integer division/modulo latency depends on operand
+// values on most microarchitectures, so `%` on a secret is
+// variable-time even without a branch.
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+uint32_t
+reduceExponent(OBF_SECRET uint32_t exponent, uint32_t modulus)
+{
+    return exponent % modulus; // FLAG: variable-time
+}
+
+} // namespace corpus

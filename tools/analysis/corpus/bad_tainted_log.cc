@@ -1,0 +1,17 @@
+// Known-bad: a secret value escapes through an external sink
+// (stdio logging). Even "debug only" prints of key material are
+// findings; release through OBF_DECLASSIFY if truly intended.
+#include <cstdint>
+#include <cstdio>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+void
+debugDumpKey(OBF_SECRET uint64_t key_word)
+{
+    printf("key word: %llx\n", (unsigned long long)key_word); // FLAG: secret-sink
+}
+
+} // namespace corpus

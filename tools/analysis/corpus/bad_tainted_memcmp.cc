@@ -1,0 +1,16 @@
+// Known-bad: early-exit comparison of a secret MAC. memcmp returns
+// at the first differing byte, so the match length leaks.
+#include <cstdint>
+#include <cstring>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+bool
+macEqual(OBF_SECRET const uint8_t *mac, const uint8_t *expect)
+{
+    return memcmp(mac, expect, 16) == 0; // FLAG: variable-time
+}
+
+} // namespace corpus

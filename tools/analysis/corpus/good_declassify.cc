@@ -1,0 +1,24 @@
+// Known-good: deliberate, audited releases through OBF_DECLASSIFY.
+// The macro compiles to its expression; the analyzer treats the
+// marked line as reviewed and suppresses findings there.
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+bool
+keyIsWeak(OBF_SECRET uint64_t key_word)
+{
+    return OBF_DECLASSIFY(key_word == 0, "weak-key policy check");
+}
+
+int
+declassifiedBranch(OBF_SECRET uint32_t tag)
+{
+    if (OBF_DECLASSIFY(tag & 1, "public experiment arm bit"))
+        return 1;
+    return 0;
+}
+
+} // namespace corpus

@@ -1,0 +1,25 @@
+// Known-good: OBF_PUBLIC stops propagation. Wire counters and epoch
+// numbers travel in the clear by design, so branching on them is
+// fine even where they mix with annotated structures.
+#include <cstdint>
+
+#include "util/secret.hh"
+
+namespace corpus {
+
+struct Counter
+{
+    OBF_PUBLIC uint64_t value = 0;
+
+    uint64_t next() { return ++value; }
+};
+
+int
+branchOnPublic(OBF_PUBLIC uint32_t epoch)
+{
+    if (epoch & 1)
+        return 1;
+    return 0;
+}
+
+} // namespace corpus

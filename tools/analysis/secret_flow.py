@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""
+Secret-flow static analyzer for the ObfusMem tree.
+
+Interprocedural taint analysis from OBF_SECRET annotation sources
+(src/util/secret.hh) to constant-time-violating sinks. See
+tools/analysis/secretflow/ for the engine and DESIGN.md Sec. 11 for
+the annotation taxonomy.
+
+Usage:
+    tools/analysis/secret_flow.py [paths...]          # default: src/
+    tools/analysis/secret_flow.py --self-test         # corpus check
+    tools/analysis/secret_flow.py --frontend clang src/crypto
+
+Output format (one finding per line):
+    path:line: [rule] message
+
+Exit status: number of findings not covered by the baseline (0-125),
+126 on baseline misuse (empty justification is a hard error).
+
+Frontends:
+    lite   -- built-in tokenizer, reads raw source; no toolchain
+              needed. The default when clang++ is not installed.
+    clang  -- consumes `clang++ -fsyntax-only -Xclang
+              -ast-dump=json`; the reference frontend, used in CI.
+              AST dumps are cached under --cache-dir keyed by file
+              hash, keeping repeat CI runs fast.
+    auto   -- clang if available, else lite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from secretflow import baseline as baseline_mod  # noqa: E402
+from secretflow import clang_frontend, lite_frontend  # noqa: E402
+from secretflow.ir import Program, RULES  # noqa: E402
+from secretflow.taint import analyze  # noqa: E402
+
+SOURCE_EXTS = (".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h")
+
+
+def repo_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def collect_files(paths: list[str], root: str) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+        elif os.path.isdir(ap):
+            for dirpath, _, names in os.walk(ap):
+                for n in sorted(names):
+                    if n.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(dirpath, n))
+        else:
+            print(f"secret-flow: no such path: {p}", file=sys.stderr)
+    return files
+
+
+def pick_frontend(requested: str, clangxx: str) -> str:
+    if requested != "auto":
+        return requested
+    return "clang" if shutil.which(clangxx) else "lite"
+
+
+def build_program(files: list[str], frontend: str, root: str,
+                  clangxx: str, clang_flags: list[str],
+                  cache_dir: str | None) -> Program:
+    prog = Program()
+    for path in files:
+        rel = os.path.relpath(path, root)
+        if frontend == "clang" and path.endswith(
+                (".cc", ".cpp", ".cxx")):
+            prog.merge(clang_frontend.parse_file(
+                path, clang_flags, display_path=rel,
+                clangxx=clangxx, cache_dir=cache_dir))
+        elif frontend == "clang":
+            # Headers are not TUs; their annotations reach clang via
+            # the including .cc, but header-inline bodies are only
+            # covered by the lite frontend. Run it as a supplement so
+            # neither frontend silently skips them.
+            prog.merge(lite_frontend.parse_file(
+                path, display_path=rel))
+        else:
+            prog.merge(lite_frontend.parse_file(
+                path, display_path=rel))
+    return prog
+
+
+def run_analysis(paths, args, root) -> int:
+    frontend = pick_frontend(args.frontend, args.clangxx)
+    files = collect_files(paths, root)
+    if not files:
+        print("secret-flow: nothing to analyze", file=sys.stderr)
+        return 0
+    clang_flags = ["-std=c++20", "-I", os.path.join(root, "src"),
+                   *args.clang_flag]
+    prog = build_program(files, frontend, root, args.clangxx,
+                         clang_flags, args.cache_dir)
+    findings = analyze(prog)
+    # Only report findings inside the requested paths (the program
+    # may pull in more files for interprocedural context).
+    wanted = {os.path.relpath(f, root) for f in files}
+    findings = [f for f in findings if f.file in wanted]
+
+    bl = baseline_mod.Baseline()
+    if args.baseline and os.path.exists(args.baseline):
+        try:
+            bl = baseline_mod.load(args.baseline)
+        except baseline_mod.BaselineError as exc:
+            print(f"secret-flow: {exc}", file=sys.stderr)
+            return 126
+
+    reported = 0
+    suppressed = 0
+    for f in findings:
+        if bl.suppresses(f):
+            suppressed += 1
+            if args.show_baselined:
+                print(f"{f.format()}  [baselined]")
+        else:
+            print(f.format())
+            reported += 1
+    for e in bl.unused():
+        print(f"secret-flow: warning: unused baseline entry "
+              f"({args.baseline}:{e.lineno}): "
+              f"{e.rule}|{e.path}|{e.function}", file=sys.stderr)
+    print(f"secret-flow[{frontend}]: {len(files)} file(s), "
+          f"{reported} finding(s), {suppressed} baselined",
+          file=sys.stderr)
+    return min(reported, 125)
+
+
+def run_self_test(args, root) -> int:
+    """Known-bad corpus must be caught (every `// FLAG: rule` line),
+    known-good must be clean."""
+    frontend = pick_frontend(args.frontend, args.clangxx)
+    corpus = os.path.join(root, "tools", "analysis", "corpus")
+    clang_flags = ["-std=c++20", "-I", os.path.join(root, "src"),
+                   *args.clang_flag]
+    failures = 0
+    checked = 0
+    for name in sorted(os.listdir(corpus)):
+        if not name.endswith(".cc"):
+            continue
+        path = os.path.join(corpus, name)
+        rel = os.path.relpath(path, root)
+        prog = build_program([path], frontend, root, args.clangxx,
+                             clang_flags, args.cache_dir)
+        findings = analyze(prog)
+        by_line = {}
+        for f in findings:
+            by_line.setdefault((f.rule, f.line), []).append(f)
+        expected = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if "// FLAG:" in line:
+                    rule = line.split("// FLAG:")[1].strip()
+                    assert rule in RULES, \
+                        f"{rel}:{lineno}: unknown rule '{rule}'"
+                    expected.append((rule, lineno))
+        checked += 1
+        if name.startswith("bad_"):
+            assert expected, f"{rel}: bad corpus file without FLAGs"
+            for rule, lineno in expected:
+                if (rule, lineno) in by_line:
+                    continue
+                failures += 1
+                print(f"SELF-TEST FAIL: {rel}:{lineno}: expected "
+                      f"[{rule}] finding, analyzer reported: "
+                      + (", ".join(
+                          f"{f.rule}@{f.line}" for f in findings)
+                          or "nothing"))
+        elif name.startswith("good_"):
+            assert not expected, f"{rel}: good corpus file with FLAGs"
+            for f in findings:
+                failures += 1
+                print(f"SELF-TEST FAIL: {rel}: expected clean, got "
+                      + f.format())
+    status = "PASS" if failures == 0 else "FAIL"
+    print(f"secret-flow[{frontend}] self-test: {status} "
+          f"({checked} corpus files, {failures} failure(s))")
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        prog="secret_flow.py",
+        description="Secret-flow (taint) analyzer for constant-time "
+                    "discipline.")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories (default: src/)")
+    ap.add_argument("--root", default=repo_root(),
+                    help="repository root for relative paths")
+    ap.add_argument("--frontend", default="auto",
+                    choices=("auto", "lite", "clang"))
+    ap.add_argument("--clangxx", default="clang++",
+                    help="clang++ binary for the clang frontend")
+    ap.add_argument("--clang-flag", action="append", default=[],
+                    help="extra flag for the clang AST dump")
+    ap.add_argument("--cache-dir", default=None,
+                    help="AST dump cache directory (clang frontend)")
+    ap.add_argument("--baseline",
+                    default=os.path.join(repo_root(), "tools",
+                                         "analysis", "baseline.txt"),
+                    help="baseline/allowlist file ('' to disable)")
+    ap.add_argument("--show-baselined", action="store_true",
+                    help="also print suppressed findings")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the known-good/known-bad corpus")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(args, root)
+    # Default scope: the annotated crypto/secure/obfusmem stack.
+    # Unannotated simulator plumbing (cpu/, sim/, mem/) has no
+    # secret sources and only adds noise; pass `src` explicitly to
+    # sweep everything.
+    paths = args.paths or ["src/crypto", "src/secure",
+                           "src/obfusmem", "src/trust", "src/check",
+                           "src/util"]
+    return run_analysis(paths, args, root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

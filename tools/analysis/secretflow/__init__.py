@@ -1,0 +1,30 @@
+"""
+secretflow: interprocedural secret-flow (taint) analysis for the
+ObfusMem tree.
+
+Sources are `OBF_SECRET` annotations (src/util/secret.hh); sinks are
+the four constant-time rules:
+
+  secret-branch  -- branch / loop bound / ternary on a tainted value
+  secret-index   -- array subscript or pointer arithmetic with a
+                    tainted index
+  variable-time  -- memcmp/strcmp-family call or %, / operator on a
+                    tainted operand
+  secret-sink    -- tainted value reaching an unannotated external
+                    sink (logging, stats, stream output)
+
+Two interchangeable frontends produce the same IR (`secretflow.ir`):
+
+  clang_frontend -- consumes `clang++ -fsyntax-only -Xclang
+                    -ast-dump=json` output; the reference frontend,
+                    used in CI.
+  lite_frontend  -- a built-in tokenizer that reads raw C++ source
+                    (the annotation macros themselves); used where
+                    clang is unavailable and as a cross-check.
+
+`secretflow.taint` runs the interprocedural fixpoint over either
+IR; `secretflow.baseline` applies the allowlist with mandatory
+justifications.
+"""
+
+__all__ = ["ir", "baseline", "lite_frontend", "clang_frontend", "taint"]

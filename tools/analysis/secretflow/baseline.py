@@ -1,0 +1,94 @@
+"""
+Baseline (allowlist) handling for the secret-flow analyzer.
+
+Format, one entry per line:
+
+    rule|path|function|justification
+
+  - `rule` is one of the analyzer rules, or `*`.
+  - `path` is the repo-relative file path, or `*`.
+  - `function` is the display name of the enclosing function
+    (`Class::method` or a free-function name), or `*`.
+  - `justification` is MANDATORY prose explaining why the finding is
+    acceptable. An empty justification is a hard error: the analyzer
+    refuses to run rather than silently honoring an unexplained
+    suppression.
+
+`#` starts a comment; blank lines are ignored. Entries that match no
+finding are reported so the baseline cannot rot silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ir import RULES, Finding
+
+
+class BaselineError(Exception):
+    """Malformed baseline file (bad syntax or empty justification)."""
+
+
+@dataclass
+class Entry:
+    rule: str
+    path: str
+    function: str
+    justification: str
+    lineno: int
+    hits: int = 0
+
+    def matches(self, f: Finding) -> bool:
+        return ((self.rule == "*" or self.rule == f.rule)
+                and (self.path == "*" or self.path == f.file)
+                and (self.function == "*"
+                     or self.function == f.function))
+
+
+@dataclass
+class Baseline:
+    entries: list[Entry] = field(default_factory=list)
+
+    def suppresses(self, f: Finding) -> bool:
+        hit = False
+        for e in self.entries:
+            if e.matches(f):
+                e.hits += 1
+                hit = True
+        return hit
+
+    def unused(self) -> list[Entry]:
+        return [e for e in self.entries if e.hits == 0]
+
+
+def parse(text: str, origin: str = "<baseline>") -> Baseline:
+    bl = Baseline()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 4:
+            raise BaselineError(
+                f"{origin}:{lineno}: expected "
+                f"'rule|path|function|justification', got {len(parts)}"
+                " field(s)")
+        rule, path, function, justification = parts
+        if rule != "*" and rule not in RULES:
+            raise BaselineError(
+                f"{origin}:{lineno}: unknown rule '{rule}' "
+                f"(expected one of {', '.join(RULES)} or *)")
+        if not justification:
+            raise BaselineError(
+                f"{origin}:{lineno}: baseline entry for "
+                f"'{rule}|{path}|{function}' has an EMPTY "
+                "justification; every suppression must say why it is "
+                "safe")
+        bl.entries.append(
+            Entry(rule, path, function, justification, lineno))
+    return bl
+
+
+def load(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse(fh.read(), origin=path)

@@ -1,0 +1,142 @@
+"""
+Frontend-neutral IR for the secret-flow analyzer.
+
+A `Program` is a bag of `Function`s plus the annotation side tables.
+Variables are opaque strings: the lite frontend uses source-level
+identifiers (scoped per function), the clang frontend uses AST decl
+ids, which are globally unique. The taint engine only ever compares
+them for equality, so either works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+SECRET = "secret"
+PUBLIC = "public"
+
+# Calls whose implementations are constant-time by construction.
+# They act as taint barriers: no findings at the call site and the
+# result is untainted (ctEqual's bool is the classic deliberately
+# public comparison outcome).
+CT_SAFE_CALLS = {
+    "ctEqual",
+    "secureZero",
+    "ctSwap",
+    "powModCt",
+}
+
+# Variable-time library calls (rule: variable-time).
+VARIABLE_TIME_CALLS = {
+    "memcmp",
+    "strcmp",
+    "strncmp",
+    "strcasecmp",
+    "strncasecmp",
+    "bcmp",
+}
+
+# External observation points (rule: secret-sink): the repo's logging
+# macros, stats hooks and stdio. Stream output to cout/cerr is
+# detected separately (Event.kind == "stream").
+SINK_CALLS = {
+    "panic",
+    "fatal",
+    "fatal_if",
+    "panic_if",
+    "warn",
+    "warn_if",
+    "inform",
+    "hack",
+    "printf",
+    "fprintf",
+    "sprintf",
+    "snprintf",
+    "puts",
+    "fputs",
+    "putchar",
+    "writeJsonl",
+    "recordStat",
+}
+
+RULES = ("secret-branch", "secret-index", "variable-time", "secret-sink")
+
+
+@dataclass
+class Event:
+    """One taint-relevant operation inside a function body."""
+
+    kind: str  # assign | branch | index | call | binop | return | stream
+    line: int
+    # assign: ids written; branch/index/binop/return/stream: ids read.
+    ids: set[str] = field(default_factory=set)
+    # assign only: ids read on the right-hand side.
+    rhs: set[str] = field(default_factory=set)
+    # call only.
+    callee: str = ""
+    args: list[set[str]] = field(default_factory=list)
+    # call: synthetic id holding the call result (so nested uses of
+    # the result -- branch conditions, subscripts -- see its taint).
+    result: str = ""
+    # branch: if/while/for/switch/ternary; binop: % or /.
+    detail: str = ""
+
+
+@dataclass
+class Function:
+    name: str  # last component, e.g. "setKey"
+    qualifier: str  # enclosing class, "" for free functions
+    file: str
+    line: int
+    # Parameter variables in positional order.
+    params: list[str] = field(default_factory=list)
+    # var -> SECRET | PUBLIC, from annotations on params/locals.
+    annots: dict[str, str] = field(default_factory=dict)
+    returns_secret: bool = False  # OBF_SECRET on the return type
+    returns_public: bool = False  # OBF_PUBLIC on the return type
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def display(self) -> str:
+        return f"{self.qualifier}::{self.name}" if self.qualifier \
+            else self.name
+
+
+@dataclass
+class Program:
+    functions: list[Function] = field(default_factory=list)
+    # (class, member-or-declid) -> SECRET | PUBLIC for annotated
+    # members. The lite frontend scopes by class name; the clang
+    # frontend uses ("", decl-id) since ids are globally unique.
+    members: dict[tuple[str, str], str] = field(default_factory=dict)
+    # Summaries from declarations without bodies (headers):
+    # name -> (returns_secret, returns_public, {pos: annot}).
+    decl_summaries: dict[str, tuple[bool, bool, dict[int, str]]] = \
+        field(default_factory=dict)
+    # file -> lines containing OBF_DECLASSIFY (findings suppressed).
+    declassified: dict[str, set[int]] = field(default_factory=dict)
+
+    def merge(self, other: "Program") -> None:
+        self.functions.extend(other.functions)
+        self.members.update(other.members)
+        for name, (rs, rp, pa) in other.decl_summaries.items():
+            ors, orp, opa = self.decl_summaries.get(
+                name, (False, False, {}))
+            merged = dict(opa)
+            merged.update(pa)
+            self.decl_summaries[name] = (rs or ors, rp or orp, merged)
+        for f, lines in other.declassified.items():
+            self.declassified.setdefault(f, set()).update(lines)
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    file: str
+    line: int
+    function: str  # display name of the enclosing function
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,250 @@
+"""
+Interprocedural taint engine.
+
+Flow-insensitive fixpoint over the frontend-neutral IR:
+
+  - Seeds: OBF_SECRET parameters, locals and class members; results
+    of calls to functions whose return type is OBF_SECRET.
+  - Propagation: assignments, call arguments into callee parameters
+    (re-analyzed until stable), and callee return-taint summaries.
+    Calls to unknown functions conservatively pass taint from any
+    argument to the result.
+  - Barriers: OBF_PUBLIC annotations force a variable/return public;
+    the CT_SAFE_CALLS set (ctEqual, secureZero, ctSwap, powModCt)
+    neither leaks nor propagates; OBF_DECLASSIFY suppresses findings
+    on its source line (handled by the driver via
+    Program.declassified).
+
+Deliberate imprecision (documented in DESIGN.md Sec. 11): receiver
+taint makes a method call's *result* tainted but is not pushed into
+the callee's member state, and overloads sharing a name share one
+summary. Both err on the side the baseline can absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ir import (CT_SAFE_CALLS, Finding, Function, Program, SECRET,
+                 PUBLIC, SINK_CALLS, VARIABLE_TIME_CALLS)
+
+
+@dataclass
+class Summary:
+    returns_secret: bool = False
+    returns_public: bool = False
+    param_annots: dict[int, str] = field(default_factory=dict)
+    inferred_taint: set[int] = field(default_factory=set)
+    defined: bool = False
+
+
+def _display_ids(ids: set[str]) -> str:
+    names = sorted({i.split("#", 1)[0] for i in ids
+                    if not i.startswith("__call")})
+    if not names:
+        return "a secret-derived call result"
+    return "'" + "', '".join(names) + "'"
+
+
+class Engine:
+    def __init__(self, prog: Program):
+        self.prog = prog
+        self.summaries: dict[str, Summary] = {}
+        self._final_taint: dict[int, set[str]] = {}
+        self._build_summaries()
+
+    def _build_summaries(self) -> None:
+        for name, (rs, rp, annots) in \
+                self.prog.decl_summaries.items():
+            s = self.summaries.setdefault(name, Summary())
+            s.returns_secret |= rs
+            s.returns_public |= rp
+            for pos, a in annots.items():
+                s.param_annots.setdefault(pos, a)
+        for fn in self.prog.functions:
+            s = self.summaries.setdefault(fn.name, Summary())
+            s.defined = True
+            s.returns_secret |= fn.returns_secret
+            s.returns_public |= fn.returns_public
+            for pos, p in enumerate(fn.params):
+                a = fn.annots.get(p)
+                if a:
+                    s.param_annots.setdefault(pos, a)
+
+    # ---- per-function propagation ----------------------------------
+
+    def _seeds(self, fn: Function) -> tuple[set[str], set[str]]:
+        tainted: set[str] = set()
+        public: set[str] = set()
+        summary = self.summaries[fn.name]
+        for pos, p in enumerate(fn.params):
+            annot = fn.annots.get(p) or summary.param_annots.get(pos)
+            if annot == PUBLIC:
+                public.add(p)
+            elif annot == SECRET or pos in summary.inferred_taint:
+                tainted.add(p)
+        for var, annot in fn.annots.items():
+            if annot == SECRET:
+                tainted.add(var)
+            elif annot == PUBLIC:
+                public.add(var)
+        for (cls, var), annot in self.prog.members.items():
+            if cls and cls != fn.qualifier:
+                continue
+            if annot == SECRET:
+                tainted.add(var)
+            else:
+                public.add(var)
+        tainted -= public
+        return tainted, public
+
+    def _map_args(self, args: list[set[str]], summary: Summary,
+                  nparams: int) -> list[tuple[int, set[str]]]:
+        """Pair call-site arguments with callee parameter positions,
+        dropping a leading receiver entry when present."""
+        start = 1 if len(args) == nparams + 1 else 0
+        return [(pos, argids)
+                for pos, argids in enumerate(args[start:])
+                if pos < nparams]
+
+    def _run_function(self, fn: Function) -> bool:
+        """One pass; returns True if any global summary changed."""
+        tainted, public = self._seeds(fn)
+        changed_global = False
+        summary = self.summaries[fn.name]
+        nparams = {f.name: len(f.params)
+                   for f in self.prog.functions}
+        for _ in range(64):  # local fixpoint; converges fast
+            before = len(tainted)
+            for ev in fn.events:
+                if ev.kind == "assign":
+                    if ev.rhs & tainted:
+                        tainted |= ev.ids - public
+                elif ev.kind == "call":
+                    cs = self.summaries.get(ev.callee)
+                    if ev.callee in CT_SAFE_CALLS:
+                        continue
+                    arg_tainted = any(a & tainted for a in ev.args)
+                    result_secret = False
+                    if cs and cs.returns_public:
+                        result_secret = False
+                    elif cs and cs.returns_secret:
+                        result_secret = True
+                    elif arg_tainted:
+                        result_secret = True
+                    if result_secret and ev.result:
+                        tainted.add(ev.result)
+                    # OBF_SECRET out-params taint the caller's
+                    # argument (pads, derived keys written through
+                    # references).
+                    if cs:
+                        np = nparams.get(ev.callee, len(ev.args))
+                        for pos, argids in self._map_args(
+                                ev.args, cs, np):
+                            if cs.param_annots.get(pos) == SECRET:
+                                tainted |= argids - public
+                    # Push taint into a defined callee's params.
+                    if cs and cs.defined and arg_tainted:
+                        np = nparams.get(ev.callee, len(ev.args))
+                        for pos, argids in self._map_args(
+                                ev.args, cs, np):
+                            if not argids & tainted:
+                                continue
+                            if cs.param_annots.get(pos) == PUBLIC:
+                                continue
+                            if pos not in cs.inferred_taint:
+                                cs.inferred_taint.add(pos)
+                                changed_global = True
+                elif ev.kind == "return":
+                    if ev.ids & tainted and not fn.returns_public \
+                            and not summary.returns_public:
+                        if not summary.returns_secret:
+                            summary.returns_secret = True
+                            changed_global = True
+            if len(tainted) == before:
+                break
+        self._final_taint[id(fn)] = tainted
+        return changed_global
+
+    # ---- driver ----------------------------------------------------
+
+    def run(self) -> None:
+        for _ in range(32):  # global fixpoint
+            changed = False
+            for fn in self.prog.functions:
+                changed |= self._run_function(fn)
+            if not changed:
+                break
+
+    def findings(self) -> list[Finding]:
+        out: list[Finding] = []
+        seen: set[tuple] = set()
+
+        def emit(rule, fn, line, msg):
+            if line in self.prog.declassified.get(fn.file, set()):
+                return
+            key = (rule, fn.file, line)
+            if key in seen:
+                return
+            seen.add(key)
+            out.append(Finding(rule, fn.file, line, fn.display, msg))
+
+        for fn in self.prog.functions:
+            tainted = self._final_taint.get(id(fn), set())
+            if not tainted:
+                continue
+            for ev in fn.events:
+                hot = ev.ids & tainted
+                if ev.kind == "branch" and hot:
+                    what = ("loop bound or condition"
+                            if ev.detail in ("for", "while")
+                            else "branch condition")
+                    emit("secret-branch", fn, ev.line,
+                         f"{what} depends on secret-tainted "
+                         f"{_display_ids(hot)} "
+                         f"(in {fn.display})")
+                elif ev.kind == "index" and hot:
+                    emit("secret-index", fn, ev.line,
+                         "memory indexed by secret-tainted "
+                         f"{_display_ids(hot)} (in {fn.display}); "
+                         "secret-dependent addresses leak through "
+                         "the cache")
+                elif ev.kind == "binop" and hot:
+                    emit("variable-time", fn, ev.line,
+                         f"'{ev.detail}' on secret-tainted "
+                         f"{_display_ids(hot)} (in {fn.display}); "
+                         "division latency is operand-dependent")
+                elif ev.kind == "stream" and hot:
+                    emit("secret-sink", fn, ev.line,
+                         "secret-tainted "
+                         f"{_display_ids(hot)} written to an "
+                         f"output stream (in {fn.display})")
+                elif ev.kind == "call":
+                    if ev.callee in CT_SAFE_CALLS:
+                        continue
+                    hot_args: set[str] = set()
+                    for a in ev.args:
+                        hot_args |= a & tainted
+                    if not hot_args:
+                        continue
+                    if ev.callee in VARIABLE_TIME_CALLS:
+                        emit("variable-time", fn, ev.line,
+                             f"variable-time call {ev.callee}() on "
+                             "secret-tainted "
+                             f"{_display_ids(hot_args)} "
+                             f"(in {fn.display}); use "
+                             "crypto::ctEqual instead")
+                    elif ev.callee in SINK_CALLS:
+                        emit("secret-sink", fn, ev.line,
+                             "secret-tainted "
+                             f"{_display_ids(hot_args)} passed to "
+                             f"external sink {ev.callee}() "
+                             f"(in {fn.display})")
+        out.sort(key=lambda f: (f.file, f.line, f.rule))
+        return out
+
+
+def analyze(prog: Program) -> list[Finding]:
+    eng = Engine(prog)
+    eng.run()
+    return eng.findings()

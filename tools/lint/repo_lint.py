@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific security lints for the ObfusMem simulator.
 
-Seven rules, each encoding an invariant the generic toolchain cannot
+Eight rules, each encoding an invariant the generic toolchain cannot
 know about:
 
   weak-rng        rand()/std::rand() anywhere outside src/util/random:
@@ -10,6 +10,14 @@ know about:
   non-ct-compare  ==/!= on MAC or digest values in src/: verification
                   must go through crypto::ctEqual so a mismatch costs
                   the same time regardless of the first differing byte.
+  ct-compare      memcmp()/strcmp()/strncmp() inside src/crypto/,
+                  src/secure/ or src/obfusmem/ (outside bytes.hh,
+                  where ctEqual itself lives): libc comparisons bail
+                  out at the first differing byte, so anything they
+                  touch in the crypto stack is a timing oracle. The
+                  secret-flow analyzer (tools/analysis) catches the
+                  tainted subset of these; this rule bans the whole
+                  pattern in the stack regardless of taint.
   key-scrub       a file that memcpy()s key material must also call
                   secureZero(): key bytes must not outlive their use on
                   the stack or heap.
@@ -70,6 +78,15 @@ CT_QUANTITY_RE = re.compile(
 
 MEMCPY_KEY_RE = re.compile(r"memcpy\s*\([^;]*\bkey\w*\b", re.IGNORECASE)
 
+# A variable-time libc comparison call. `\b` plus the lookbehind keeps
+# ctEqual-style wrappers (whose *names* merely contain "cmp") and
+# member calls like ledger.memcmpCount out of scope.
+LIBC_CMP_RE = re.compile(r"(?<![\w.>])(?:std\s*::\s*)?"
+                         r"(memcmp|strcmp|strncmp|strcasecmp|"
+                         r"strncasecmp|bcmp)\s*\(")
+CT_COMPARE_SCOPE = ("src/crypto/", "src/secure/", "src/obfusmem/")
+CT_COMPARE_ALLOWED = ("src/crypto/bytes.hh", "src/crypto/bytes.cc")
+
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)", re.MULTILINE)
 
 # A lambda capture list (multi-line tolerated) followed by a parameter
@@ -118,6 +135,22 @@ def lint_ct_compare(rel, lines):
         yield no, "non-ct-compare", \
             "compare MAC/digest values with crypto::ctEqual, " \
             "not ==/!= (timing side channel)"
+
+
+def lint_libc_compare(rel, lines):
+    if not any(rel.startswith(p) for p in CT_COMPARE_SCOPE):
+        return
+    if rel in CT_COMPARE_ALLOWED:
+        return  # ctEqual's own home may build on byte primitives
+    for no, line in lines:
+        if COMMENT_RE.match(line):
+            continue
+        m = LIBC_CMP_RE.search(line)
+        if m:
+            yield no, "ct-compare", \
+                f"{m.group(1)}() bails out at the first differing " \
+                "byte; in the crypto/secure/obfusmem stack compare " \
+                "with crypto::ctEqual"
 
 
 def lint_key_scrub(rel, lines, text):
@@ -228,6 +261,7 @@ def lint_text(rel, text):
     out = []
     out.extend(lint_weak_rng(rel, lines))
     out.extend(lint_ct_compare(rel, lines))
+    out.extend(lint_libc_compare(rel, lines))
     out.extend(lint_key_scrub(rel, lines, text))
     out.extend(lint_include_guard(rel, text))
     out.extend(lint_packet_capture(rel, text))
@@ -257,6 +291,17 @@ SELF_TEST_CASES = [
     ("src/cpu/core.cc",
      "    int r = std::rand();\n",
      "weak-rng"),
+    # libc comparisons anywhere in the crypto stack are a timing
+    # oracle, tainted or not.
+    ("src/crypto/hmac.cc",
+     "    return std::memcmp(a.data(), b.data(), a.size()) == 0;\n",
+     "ct-compare"),
+    ("src/obfusmem/mac_engine.cc",
+     "    if (memcmp(&mac, &expected, sizeof(mac)) != 0)\n",
+     "ct-compare"),
+    ("src/secure/merkle.cc",
+     "    ok = strncmp(label, node.label, 8) == 0;\n",
+     "ct-compare"),
     ("src/crypto/aes.cc",
      "    std::memcpy(round_keys, key.data(), 16);\n",
      "key-scrub"),
@@ -302,6 +347,18 @@ SELF_TEST_CLEAN = [
      "    stats.macVerifyFailures == 0;\n"),
     ("tests/test_crypto_hash.cc",
      "    EXPECT_TRUE(digest == expected);\n"),
+    # ctEqual's own home, the rest of src/, tests, wrapper names and
+    # member accesses are out of ct-compare's scope.
+    ("src/crypto/bytes.cc",
+     "    return memcmp(a, b, n) == 0; // reference, not shipped\n"),
+    ("src/sim/trace.cc",
+     "    if (memcmp(rec, prev, sizeof rec) == 0) dedupe++;\n"),
+    ("tests/test_crypto_aes.cc",
+     "    EXPECT_EQ(0, memcmp(out, expected, 16));\n"),
+    ("src/crypto/hmac.cc",
+     "    return ctMemcmp(a, b, n);\n"),
+    ("src/obfusmem/observer.cc",
+     "    stats.memcmpCount++; auto v = ledger.memcmp(x);\n"),
     # Moved and reference captures, and plain array indexing, are fine.
     ("src/obfusmem/plain_path.cc",
      "    eventQueue().schedule(done,\n"
