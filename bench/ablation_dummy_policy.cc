@@ -16,6 +16,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_dummy_policy");
     printHeader("Ablation (Sec 3.3): dummy-address policy");
 
     const char *benchmarks[] = {"bwaves", "milc", "lbm", "soplex"};

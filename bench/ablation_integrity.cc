@@ -16,6 +16,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_integrity");
     printHeader("Ablation: Merkle (BMT) verification traffic on top "
                 "of memory encryption");
 

@@ -16,6 +16,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_mac_mode");
     printHeader("Ablation (Sec 3.5): encrypt-and-MAC vs "
                 "encrypt-then-MAC");
 

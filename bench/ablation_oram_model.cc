@@ -18,6 +18,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_oram_model");
     printHeader("Ablation: fixed-latency ORAM model vs detailed "
                 "Path ORAM (small tree)");
 

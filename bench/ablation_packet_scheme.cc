@@ -18,6 +18,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_packet_scheme");
     printHeader("Ablation (Sec 7): split dummy pairs vs uniform "
                 "packets (InvisiMem-style)");
 

@@ -17,6 +17,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_timing");
     printHeader("Ablation (Sec 6.2): timing-oblivious ObfusMem");
 
     const char *benchmarks[] = {"milc", "libquantum", "sjeng",

@@ -17,6 +17,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("ablation_wear_leveling");
     printHeader("Ablation: Start-Gap wear leveling in the PCM "
                 "controller");
 

@@ -15,6 +15,8 @@
 #include <mutex>
 #include <string>
 
+#include "crypto/aes128.hh"
+#include "crypto/cpu_features.hh"
 #include "runner/sweep.hh"
 #include "system/system.hh"
 #include "util/env.hh"
@@ -193,6 +195,82 @@ jsonRow(const std::string &bench, const std::string &config,
                  wall_ms);
     std::fflush(f);
 }
+
+/**
+ * Append one JSONL row whose figure of merit is a speedup ratio
+ * rather than a percent overhead. Distinct `speedup_x` field so
+ * consumers never have to guess which meaning `overhead_pct` carries
+ * for a given bench (the historical crypto_microbench overload).
+ */
+inline void
+jsonSpeedupRow(const std::string &bench, const std::string &config,
+               const std::string &workload, uint64_t units,
+               double speedup_x, double wall_ms)
+{
+    std::FILE *f = detail::jsonFile();
+    if (!f)
+        return;
+    std::lock_guard<std::mutex> lock(detail::jsonMutex());
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"config\":\"%s\","
+                 "\"workload\":\"%s\",\"ticks\":%llu,"
+                 "\"speedup_x\":%.4f,\"wall_ms\":%.3f}\n",
+                 detail::jsonEscape(bench).c_str(),
+                 detail::jsonEscape(config).c_str(),
+                 detail::jsonEscape(workload).c_str(),
+                 static_cast<unsigned long long>(units), speedup_x,
+                 wall_ms);
+    std::fflush(f);
+}
+
+/**
+ * Per-binary bookkeeping for OBFUSMEM_BENCH_JSON runs. Construct one
+ * at the top of a benchmark's main():
+ *  - on construction it appends a host-metadata row (probed CPU
+ *    feature flags, the resolved AES lane, sweep job count) so
+ *    baselines recorded on different machines are comparable;
+ *  - on destruction it appends a `total_wall` summary row covering
+ *    the binary's whole lifetime, which is what the CI perf budget
+ *    compares against the checked-in baseline.
+ */
+class Session
+{
+  public:
+    explicit Session(const std::string &bench)
+        : benchName(bench), start(std::chrono::steady_clock::now())
+    {
+        std::FILE *f = detail::jsonFile();
+        if (!f)
+            return;
+        std::lock_guard<std::mutex> lock(detail::jsonMutex());
+        std::fprintf(f,
+                     "{\"bench\":\"%s\",\"config\":\"host\","
+                     "\"workload\":\"meta\",\"cpu_features\":\"%s\","
+                     "\"aes_impl\":\"%s\",\"jobs\":%u}\n",
+                     detail::jsonEscape(benchName).c_str(),
+                     detail::jsonEscape(
+                         crypto::cpuFeatureSummary()).c_str(),
+                     crypto::aesImplName(
+                         crypto::Aes128::defaultImpl()),
+                     benchJobs());
+        std::fflush(f);
+    }
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    ~Session()
+    {
+        double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        jsonRow(benchName, "host", "total_wall", 0, 0.0, wall_ms);
+    }
+
+  private:
+    std::string benchName;
+    std::chrono::steady_clock::time_point start;
+};
 
 inline void
 printHeader(const std::string &title)

@@ -6,10 +6,12 @@
  * public-key operations and a Path ORAM access.
  *
  * A custom main also hand-times the AES implementations against each
- * other and appends the speedups as OBFUSMEM_BENCH_JSON rows (see
- * BENCH_PR4.json): for `crypto_microbench` rows, `overhead_pct`
- * carries the speedup ratio versus the T-table path and `ticks` the
- * blocks processed.
+ * other and appends the speedups as OBFUSMEM_BENCH_JSON rows: each
+ * hardware lane (aesni, aesni4, vaes) versus the T-table path, with
+ * the ratio in a dedicated `speedup_x` field (`ticks` carries the
+ * blocks processed). Earlier baselines (BENCH_PR4.json) overloaded
+ * `overhead_pct` with this ratio; consumers should prefer
+ * `speedup_x` and treat the old field as legacy.
  */
 
 #include <benchmark/benchmark.h>
@@ -45,7 +47,23 @@ key()
 }
 
 constexpr AesImpl implForArg[] = {AesImpl::Reference, AesImpl::Ttable,
-                                  AesImpl::Aesni};
+                                  AesImpl::Aesni, AesImpl::Aesni4,
+                                  AesImpl::Vaes};
+
+/** True when `impl` can run on this host/build (Skip otherwise). */
+bool
+implAvailable(AesImpl impl)
+{
+    switch (impl) {
+      case AesImpl::Aesni:
+      case AesImpl::Aesni4:
+        return Aes128::aesniAvailable();
+      case AesImpl::Vaes:
+        return Aes128::vaesAvailable();
+      default:
+        return true;
+    }
+}
 
 void
 BM_AesEncryptBlock(benchmark::State &state)
@@ -67,8 +85,8 @@ void
 BM_AesEncryptBlockImpl(benchmark::State &state)
 {
     AesImpl impl = implForArg[state.range(0)];
-    if (impl == AesImpl::Aesni && !Aes128::aesniAvailable()) {
-        state.SkipWithError("AES-NI unavailable on this host/build");
+    if (!implAvailable(impl)) {
+        state.SkipWithError("impl unavailable on this host/build");
         return;
     }
     Aes128 aes(key());
@@ -89,8 +107,8 @@ void
 BM_AesEncryptBlocksImpl(benchmark::State &state)
 {
     AesImpl impl = implForArg[state.range(0)];
-    if (impl == AesImpl::Aesni && !Aes128::aesniAvailable()) {
-        state.SkipWithError("AES-NI unavailable on this host/build");
+    if (!implAvailable(impl)) {
+        state.SkipWithError("impl unavailable on this host/build");
         return;
     }
     Aes128 aes(key());
@@ -103,7 +121,8 @@ BM_AesEncryptBlocksImpl(benchmark::State &state)
     state.SetBytesProcessed(state.iterations() * 48 * 16);
     state.SetLabel(aesImplName(impl));
 }
-BENCHMARK(BM_AesEncryptBlocksImpl)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_AesEncryptBlocksImpl)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 void
 BM_AesCtrPad(benchmark::State &state)
@@ -277,7 +296,7 @@ BM_PathOramAccess(benchmark::State &state)
 }
 BENCHMARK(BM_PathOramAccess)->Arg(10)->Arg(16)->Arg(20);
 
-// --- AES speedup summary (BENCH_PR4.json) ---------------------------
+// --- AES speedup summary (OBFUSMEM_BENCH_JSON) ----------------------
 
 /** Blocks/second of `impl` encrypting `batch`-block bursts. */
 double
@@ -295,10 +314,10 @@ aesBlocksPerSec(AesImpl impl, size_t batch, uint64_t blocks)
 }
 
 /**
- * Hand-timed aesni-vs-ttable comparison, independent of the Google
- * benchmark harness so the rows land in OBFUSMEM_BENCH_JSON with the
- * shared schema: overhead_pct carries the speedup ratio, ticks the
- * blocks processed, wall_ms the aesni leg's wall time.
+ * Hand-timed hardware-lane-vs-ttable comparison, independent of the
+ * Google benchmark harness so the rows land in OBFUSMEM_BENCH_JSON:
+ * one row per (lane, shape) with the ratio in `speedup_x`, the blocks
+ * processed in `ticks` and the lane leg's wall time in `wall_ms`.
  */
 void
 emitAesSpeedupRows()
@@ -319,20 +338,29 @@ emitAesSpeedupRows()
         size_t batch;
     };
     // batch 1 = the single-block acceptance shape; batch 48 = one
-    // prefetch refill of eight 6-pad request groups.
+    // prefetch refill of eight 6-pad request groups (also enough to
+    // fill the 16-block VAES lanes three times over).
     const Shape shapes[] = {{"single-block", 1}, {"batch48", 48}};
+    const AesImpl lanes[] = {AesImpl::Aesni, AesImpl::Aesni4,
+                             AesImpl::Vaes};
     for (const auto &s : shapes) {
         const double ttable =
             aesBlocksPerSec(AesImpl::Ttable, s.batch, blocks);
-        const double aesni =
-            aesBlocksPerSec(AesImpl::Aesni, s.batch, blocks);
-        const double speedup = aesni / ttable;
-        std::printf("%-12s  ttable %8.1f Mblk/s   aesni %8.1f "
-                    "Mblk/s   speedup %.2fx\n",
-                    s.name, ttable / 1e6, aesni / 1e6, speedup);
-        bench::jsonRow("crypto_microbench", "aesni_vs_ttable", s.name,
-                       blocks, speedup,
-                       static_cast<double>(blocks) / aesni * 1e3);
+        for (AesImpl lane : lanes) {
+            if (!implAvailable(lane))
+                continue;
+            const double rate = aesBlocksPerSec(lane, s.batch, blocks);
+            const double speedup = rate / ttable;
+            std::printf("%-12s  ttable %8.1f Mblk/s   %-6s %8.1f "
+                        "Mblk/s   speedup %.2fx\n",
+                        s.name, ttable / 1e6, aesImplName(lane),
+                        rate / 1e6, speedup);
+            bench::jsonSpeedupRow(
+                "crypto_microbench",
+                std::string(aesImplName(lane)) + "_vs_ttable", s.name,
+                blocks, speedup,
+                static_cast<double>(blocks) / rate * 1e3);
+        }
     }
 }
 
@@ -341,6 +369,7 @@ emitAesSpeedupRows()
 int
 main(int argc, char **argv)
 {
+    bench::Session session("crypto_microbench");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

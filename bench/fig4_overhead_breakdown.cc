@@ -22,13 +22,15 @@ using namespace obfusmem::bench;
 
 namespace {
 
-/** "aes=<impl>,prefetch=<depth>": the host-side crypto config. */
+/** "aes=<impl>,prefetch=<depth>,batch=<0|1>": host crypto config. */
 std::string
 hostCryptoConfig()
 {
     return std::string("aes=") +
            crypto::aesImplName(crypto::Aes128::defaultImpl()) +
-           ",prefetch=" + std::to_string(defaultPadPrefetchDepth());
+           ",prefetch=" + std::to_string(defaultPadPrefetchDepth()) +
+           ",batch=" +
+           (env::u64("OBFUSMEM_BURST_BATCH", 1) != 0 ? "1" : "0");
 }
 
 } // namespace
@@ -36,6 +38,7 @@ hostCryptoConfig()
 int
 main()
 {
+    bench::Session session("fig4_overhead_breakdown");
     printHeader("Figure 4: overhead breakdown by protection level");
 
     std::printf("%-12s %12s %12s %14s\n", "Benchmark", "EncOnly%",

@@ -21,6 +21,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("fig5_channels");
     printHeader("Figure 5: channel-count sweep, UNOPT vs OPT "
                 "(averaged over all 15 benchmarks)");
 

@@ -22,6 +22,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("sec52_energy_lifetime");
     printHeader("Section 5.2: memory energy and lifetime");
 
     PcmParams pcm;

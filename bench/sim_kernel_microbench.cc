@@ -170,6 +170,7 @@ measure(EvqImpl impl, const char *implName, Workload wl,
 int
 main()
 {
+    bench::Session session("sim_kernel_microbench");
     const bool quick = obfusmem::env::flag("OBFUSMEM_QUICK");
     const uint64_t events = quick ? 400 * 1000 : 4 * 1000 * 1000;
 

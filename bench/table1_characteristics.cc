@@ -15,6 +15,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("table1_characteristics");
     printHeader("Table 1: characteristics of the evaluated benchmarks "
                 "(measured vs paper)");
 

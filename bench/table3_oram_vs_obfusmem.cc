@@ -41,6 +41,7 @@ const PaperRow paperRows[] = {
 int
 main()
 {
+    bench::Session session("table3_oram_vs_obfusmem");
     printHeader("Table 3: execution time overhead, ORAM vs "
                 "ObfusMem+Auth");
 

@@ -18,6 +18,7 @@ using namespace obfusmem::bench;
 int
 main()
 {
+    bench::Session session("table4_comparison");
     printHeader("Table 4: comparing ORAM and ObfusMem");
 
     // --- Execution-time overhead (subset average for speed) --------

@@ -208,6 +208,8 @@ aesImplName(AesImpl impl)
       case AesImpl::Ttable: return "ttable";
       case AesImpl::Reference: return "reference";
       case AesImpl::Aesni: return "aesni";
+      case AesImpl::Aesni4: return "aesni4";
+      case AesImpl::Vaes: return "vaes";
     }
     return "unknown";
 }
@@ -218,10 +220,31 @@ Aes128::aesniAvailable()
     return detail::aesniCompiledIn() && cpuHasAesni();
 }
 
+bool
+Aes128::vaesAvailable()
+{
+    // Sub-lane batches and single blocks route through the AES-NI
+    // path, so VAES is only usable when AES-NI is too (every VAES CPU
+    // has AES-NI, but a -DOBFUSMEM_DISABLE_AESNI build does not).
+    return detail::vaesCompiledIn() && cpuHasVaes512()
+           && aesniAvailable();
+}
+
 void
 Aes128::setImpl(AesImpl impl)
 {
-    if (impl == AesImpl::Aesni && !aesniAvailable()) {
+    // Step down the lane-width ladder instead of faulting: an
+    // unavailable hardware lane degrades to the next narrower one.
+    if (impl == AesImpl::Vaes && !vaesAvailable()) {
+        warn("VAES requested but ",
+             detail::vaesCompiledIn() ? "this CPU does not support it"
+                                      : "this build does not include it",
+             "; stepping down to ",
+             aesniAvailable() ? "AES-NI" : "the T-table path");
+        impl = aesniAvailable() ? AesImpl::Aesni : AesImpl::Ttable;
+    }
+    if ((impl == AesImpl::Aesni || impl == AesImpl::Aesni4)
+        && !aesniAvailable()) {
         warn("AES-NI requested but ",
              detail::aesniCompiledIn() ? "this CPU does not support it"
                                        : "this build does not include it",
@@ -235,24 +258,42 @@ AesImpl
 Aes128::defaultImpl()
 {
     static const AesImpl choice = [] {
-        size_t unset = 3;
-        size_t pick = env::choice("OBFUSMEM_AES_IMPL",
-                                  {"aesni", "ttable", "reference"}, unset);
+        auto widest = [] {
+            if (vaesAvailable())
+                return AesImpl::Vaes;
+            return aesniAvailable() ? AesImpl::Aesni : AesImpl::Ttable;
+        };
+        size_t unset = 5;
+        size_t pick = env::choice(
+            "OBFUSMEM_AES_IMPL",
+            {"vaes", "aesni", "aesni4", "ttable", "reference"}, unset);
         switch (pick) {
           case 0:
+            if (vaesAvailable())
+                return AesImpl::Vaes;
+            warn("OBFUSMEM_AES_IMPL=vaes but VAES is unavailable ",
+                 detail::vaesCompiledIn()
+                     ? "(CPU lacks the instructions)"
+                     : "(disabled in this build)",
+                 "; using ", aesniAvailable() ? "aesni" : "ttable");
+            return aesniAvailable() ? AesImpl::Aesni : AesImpl::Ttable;
+          case 1:
+          case 2:
             if (aesniAvailable())
-                return AesImpl::Aesni;
-            warn("OBFUSMEM_AES_IMPL=aesni but AES-NI is unavailable ",
-                 detail::aesniCompiledIn() ? "(CPU lacks the instructions)"
-                                           : "(disabled in this build)",
+                return pick == 1 ? AesImpl::Aesni : AesImpl::Aesni4;
+            warn("OBFUSMEM_AES_IMPL=aesni", pick == 2 ? "4" : "",
+                 " but AES-NI is unavailable ",
+                 detail::aesniCompiledIn()
+                     ? "(CPU lacks the instructions)"
+                     : "(disabled in this build)",
                  "; using ttable");
             return AesImpl::Ttable;
-          case 1:
+          case 3:
             return AesImpl::Ttable;
-          case 2:
+          case 4:
             return AesImpl::Reference;
           default:
-            return aesniAvailable() ? AesImpl::Aesni : AesImpl::Ttable;
+            return widest();
         }
     }();
     return choice;
@@ -366,6 +407,10 @@ Aes128::encryptBlock(const Block128 &plaintext) const
     panic_if(!keyed, "Aes128 used before setKey");
     switch (implChoice) {
       case AesImpl::Aesni:
+      case AesImpl::Aesni4:
+      case AesImpl::Vaes:
+        // The wide lanes only differ on batches; a lone block is an
+        // AES-NI round trip for all three.
         return detail::aesniEncryptBlock(roundKeys, plaintext);
       case AesImpl::Ttable:
         return encryptTtable(plaintext);
@@ -380,8 +425,14 @@ Aes128::encryptBlocks(const Block128 *in, Block128 *out, size_t n) const
 {
     panic_if(!keyed, "Aes128 used before setKey");
     switch (implChoice) {
+      case AesImpl::Vaes:
+        detail::vaesEncryptBlocks(roundKeys, in, out, n);
+        return;
       case AesImpl::Aesni:
         detail::aesniEncryptBlocks(roundKeys, in, out, n);
+        return;
+      case AesImpl::Aesni4:
+        detail::aesni4EncryptBlocks(roundKeys, in, out, n);
         return;
       case AesImpl::Ttable:
         for (size_t i = 0; i < n; ++i)

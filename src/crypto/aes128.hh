@@ -8,17 +8,24 @@
  * 128-bit pad per cycle throughput, 15.1 mW, 0.204 mm^2) are captured as
  * constants here and consumed by the timing model.
  *
- * Three encryption implementations are provided:
+ * Five encryption implementations are provided:
+ *  - Vaes: 512-bit VAES batches (four blocks per zmm register, four
+ *    registers in flight) for the widest pad-generation lanes. The
+ *    default when the build carries the instructions and the running
+ *    CPU advertises VAES + AVX-512 F/BW/VL.
  *  - Aesni: hardware AES via the x86 AES-NI instructions, with 4/8-wide
- *    pipelined batches in encryptBlocks. The default when the build
- *    carries the instructions and the running CPU advertises them.
+ *    pipelined batches in encryptBlocks. The default on AES-NI CPUs
+ *    without usable VAES.
+ *  - Aesni4: the 4-wide-only software-pipelined AES-NI variant, kept
+ *    selectable as the mid-rung of the lane-width ladder (and as the
+ *    fallback target the VAES dispatch is validated against).
  *  - Ttable: the portable hot path. The 32-bit T-table formulation
  *    fuses SubBytes, ShiftRows and MixColumns into four table lookups
  *    and three XORs per column per round. The tables are generated at
  *    compile time from the S-box, so no runtime initialization (and no
  *    initialization races) exist.
  *  - Reference: the byte-oriented FIPS-197 transcription, kept as the
- *    cross-checked oracle. Tests pin the other two paths to it.
+ *    cross-checked oracle. Tests pin every other path to it.
  *
  * The simulated *hardware* is unchanged either way: implementation
  * choice only affects host throughput, never simulated timing.
@@ -59,8 +66,12 @@ enum class AesImpl
     Ttable,
     /** Byte-oriented FIPS-197 path (the cross-check oracle). */
     Reference,
-    /** x86 AES-NI hardware path (the default where available). */
+    /** x86 AES-NI hardware path (8-wide batches). */
     Aesni,
+    /** 4-wide software-pipelined AES-NI batches only. */
+    Aesni4,
+    /** 512-bit VAES batches (the widest pad-generation lanes). */
+    Vaes,
 };
 
 /** Human-readable name for an implementation (matches the env values). */
@@ -99,24 +110,32 @@ class Aes128
 
     /**
      * Select the encryption implementation for this instance.
-     * Requesting Aesni on a build or CPU without it warns and keeps
-     * the T-table path instead of faulting on the first aesenc.
+     * Requesting a hardware lane the build or CPU cannot honour warns
+     * and steps down the ladder (Vaes -> Aesni -> Ttable) instead of
+     * faulting on the first wide instruction.
      */
     void setImpl(AesImpl impl);
     AesImpl impl() const { return implChoice; }
 
     /**
      * Process-wide default implementation, read once from the
-     * OBFUSMEM_AES_IMPL environment variable ("aesni", "ttable" or
-     * "reference"; stable across threads). Unset: Aesni when both the
-     * build and the running CPU support it, Ttable otherwise. An
-     * explicit "aesni" that cannot be honoured warns and falls back
-     * to Ttable.
+     * OBFUSMEM_AES_IMPL environment variable ("vaes", "aesni",
+     * "aesni4", "ttable" or "reference"; stable across threads).
+     * Unset: the widest lane the build and the running CPU support —
+     * Vaes, then Aesni, then Ttable. An explicit hardware choice that
+     * cannot be honoured warns and falls back down the same ladder.
      */
     static AesImpl defaultImpl();
 
     /** True when the binary contains AES-NI code and the CPU runs it. */
     static bool aesniAvailable();
+
+    /**
+     * True when the binary contains the VAES/AVX-512 lanes and the CPU
+     * runs them. VAES batches fall back to AES-NI for sub-lane tails,
+     * so availability requires aesniAvailable() too.
+     */
+    static bool vaesAvailable();
 
   private:
     Block128 encryptTtable(const Block128 &plaintext) const;
@@ -144,6 +163,20 @@ Block128 aesniEncryptBlock(OBF_SECRET const Aes128::RoundKeys &schedule,
                            const Block128 &plaintext);
 void aesniEncryptBlocks(OBF_SECRET const Aes128::RoundKeys &schedule,
                         const Block128 *in, Block128 *out, size_t n);
+/** The 4-wide-only software-pipelined variant (AesImpl::Aesni4). */
+void aesni4EncryptBlocks(OBF_SECRET const Aes128::RoundKeys &schedule,
+                         const Block128 *in, Block128 *out, size_t n);
+
+/**
+ * VAES/AVX-512 entry points, defined in aes128_vaes.cc — the only
+ * translation unit built with -mvaes/-mavx512*. Same contract as the
+ * aesni* set: panicking stubs when the build gates the lanes off
+ * (-DOBFUSMEM_DISABLE_VAES=ON or a compiler without the flags), with
+ * vaesCompiledIn() reporting false so the dispatch stays honest.
+ */
+bool vaesCompiledIn();
+void vaesEncryptBlocks(OBF_SECRET const Aes128::RoundKeys &schedule,
+                       const Block128 *in, Block128 *out, size_t n);
 
 } // namespace detail
 

@@ -39,6 +39,13 @@ class AesCtr
 
     void setKey(OBF_SECRET const Aes128::Key &key, uint64_t nonce);
 
+    /**
+     * Pin the AES implementation for this stream (tests and benches;
+     * production streams keep Aes128::defaultImpl()). Every
+     * implementation produces identical pads.
+     */
+    void setImpl(AesImpl impl) { aes.setImpl(impl); }
+
     /** Generate the pad for one counter value. */
     OBF_SECRET Block128 pad(uint64_t counter) const;
 

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Batched short-message MD5: padding, lane transpose and dispatch.
+ *
+ * The portable part of the lane kernels. Messages are padded per
+ * RFC 1321 (0x80, zeros, 64-bit little-endian bit length) directly
+ * into the lane-interleaved word layout and handed to the widest
+ * compression the build and CPU allow: AVX-512 sixteen at a time,
+ * AVX2 eight at a time, with tails — and every message when no wide
+ * kernel is available — going through the scalar Md5 context, which
+ * is also the oracle the tests pin the kernels against.
+ */
+
+#include "crypto/md5_lanes.hh"
+
+#include <cstring>
+
+#include "crypto/bytes.hh"
+#include "crypto/cpu_features.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace obfusmem {
+namespace crypto {
+
+namespace {
+
+enum class LaneMode { Scalar, Avx2, Avx512 };
+
+/**
+ * Lane dispatch, latched once
+ * (OBFUSMEM_MD5_LANES=avx512|avx2|scalar).
+ */
+LaneMode
+laneMode()
+{
+    static const LaneMode mode = [] {
+        const bool can512 =
+            detail::md5LanesAvx512CompiledIn() && cpuHasAvx512f();
+        const bool can2 =
+            detail::md5LanesAvx2CompiledIn() && cpuHasAvx2();
+        const LaneMode widest = can512 ? LaneMode::Avx512
+                                : can2 ? LaneMode::Avx2
+                                       : LaneMode::Scalar;
+        size_t unset = 3;
+        size_t pick = env::choice("OBFUSMEM_MD5_LANES",
+                                  {"avx512", "avx2", "scalar"}, unset);
+        if (pick == 0) {
+            if (can512)
+                return LaneMode::Avx512;
+            warn("OBFUSMEM_MD5_LANES=avx512 but the AVX-512 kernel "
+                 "is unavailable ",
+                 detail::md5LanesAvx512CompiledIn()
+                     ? "(CPU lacks the instructions)"
+                     : "(disabled in this build)",
+                 "; using the widest available");
+            return widest == LaneMode::Avx512 ? LaneMode::Avx2
+                                              : widest;
+        }
+        if (pick == 1) {
+            if (can2)
+                return LaneMode::Avx2;
+            warn("OBFUSMEM_MD5_LANES=avx2 but the AVX2 kernel is "
+                 "unavailable ",
+                 detail::md5LanesAvx2CompiledIn()
+                     ? "(CPU lacks the instructions)"
+                     : "(disabled in this build)",
+                 "; using scalar");
+            return LaneMode::Scalar;
+        }
+        if (pick == 2)
+            return LaneMode::Scalar;
+        return widest;
+    }();
+    return mode;
+}
+
+/**
+ * Pad + transpose one W-lane group into the interleaved word layout.
+ * The RFC 1321 padding of a short message is mostly zeros, so instead
+ * of materializing a 64-byte block per lane and re-reading it, zero
+ * the word array once and write only the message words, the 0x80
+ * boundary word and the bit length (len <= 55 keeps the boundary word
+ * clear of the length words).
+ */
+template <size_t W>
+void
+packGroup(const uint8_t *msgs, size_t stride, size_t len,
+          OBF_SECRET uint32_t *words) // words[16 * W]
+{
+    const size_t full = len / 4;
+    const size_t rem = len % 4;
+    std::memset(words, 0, 16 * W * sizeof(uint32_t));
+    for (size_t l = 0; l < W; ++l) {
+        const uint8_t *msg = msgs + l * stride;
+        for (size_t w = 0; w < full; ++w)
+            words[w * W + l] = loadLe32(msg + 4 * w);
+        uint32_t boundary = 0x80u << (8 * rem);
+        for (size_t b = 0; b < rem; ++b)
+            boundary |= static_cast<uint32_t>(msg[4 * full + b])
+                        << (8 * b);
+        words[full * W + l] = boundary;
+        words[14 * W + l] = static_cast<uint32_t>(len) * 8;
+    }
+}
+
+/** Transpose one W-lane group's finished state back into digests. */
+template <size_t W>
+void
+unpackGroup(OBF_SECRET const uint32_t *state, // state[4 * W]
+            OBF_SECRET Md5Digest *out)
+{
+    for (size_t l = 0; l < W; ++l)
+        for (size_t s = 0; s < 4; ++s)
+            storeLe32(out[l].data() + 4 * s, state[s * W + l]);
+}
+
+/** Digest md5LaneWidth messages through the AVX2 kernel. */
+void
+digestGroupAvx2(const uint8_t *msgs, size_t stride, size_t len,
+                OBF_SECRET Md5Digest *out)
+{
+    OBF_SECRET uint32_t words[16 * md5LaneWidth];
+    OBF_SECRET uint32_t state[4 * md5LaneWidth];
+    packGroup<md5LaneWidth>(msgs, stride, len, words);
+    detail::md5LanesAvx2Compress8(words, state);
+    unpackGroup<md5LaneWidth>(state, out);
+}
+
+/** Digest two lane groups through the interleaved-pair kernel. */
+void
+digestGroupPairAvx2(const uint8_t *msgs, size_t stride, size_t len,
+                    OBF_SECRET Md5Digest *out)
+{
+    OBF_SECRET uint32_t words0[16 * md5LaneWidth];
+    OBF_SECRET uint32_t words1[16 * md5LaneWidth];
+    OBF_SECRET uint32_t state0[4 * md5LaneWidth];
+    OBF_SECRET uint32_t state1[4 * md5LaneWidth];
+    packGroup<md5LaneWidth>(msgs, stride, len, words0);
+    packGroup<md5LaneWidth>(msgs + md5LaneWidth * stride, stride, len,
+                            words1);
+    detail::md5LanesAvx2Compress8x2(words0, state0, words1, state1);
+    unpackGroup<md5LaneWidth>(state0, out);
+    unpackGroup<md5LaneWidth>(state1, out + md5LaneWidth);
+}
+
+/** Digest md5LaneWidthZmm messages through the AVX-512 kernel. */
+void
+digestGroupAvx512(const uint8_t *msgs, size_t stride, size_t len,
+                  OBF_SECRET Md5Digest *out)
+{
+    OBF_SECRET uint32_t words[16 * md5LaneWidthZmm];
+    OBF_SECRET uint32_t state[4 * md5LaneWidthZmm];
+    packGroup<md5LaneWidthZmm>(msgs, stride, len, words);
+    detail::md5LanesAvx512Compress16(words, state);
+    unpackGroup<md5LaneWidthZmm>(state, out);
+}
+
+/** Digest two 16-lane groups through the interleaved-pair kernel. */
+void
+digestGroupPairAvx512(const uint8_t *msgs, size_t stride, size_t len,
+                      OBF_SECRET Md5Digest *out)
+{
+    OBF_SECRET uint32_t words0[16 * md5LaneWidthZmm];
+    OBF_SECRET uint32_t words1[16 * md5LaneWidthZmm];
+    OBF_SECRET uint32_t state0[4 * md5LaneWidthZmm];
+    OBF_SECRET uint32_t state1[4 * md5LaneWidthZmm];
+    packGroup<md5LaneWidthZmm>(msgs, stride, len, words0);
+    packGroup<md5LaneWidthZmm>(msgs + md5LaneWidthZmm * stride, stride,
+                               len, words1);
+    detail::md5LanesAvx512Compress16x2(words0, state0, words1, state1);
+    unpackGroup<md5LaneWidthZmm>(state0, out);
+    unpackGroup<md5LaneWidthZmm>(state1, out + md5LaneWidthZmm);
+}
+
+} // namespace
+
+bool
+md5LanesAvailable()
+{
+    return (detail::md5LanesAvx2CompiledIn() && cpuHasAvx2())
+           || (detail::md5LanesAvx512CompiledIn() && cpuHasAvx512f());
+}
+
+void
+md5ShortBatch(const uint8_t *msgs, size_t stride, size_t len,
+              size_t n, OBF_SECRET Md5Digest *out)
+{
+    panic_if(len > md5ShortMax,
+             "md5ShortBatch message of ", len,
+             " bytes does not fit one compression block");
+
+    size_t i = 0;
+    LaneMode mode = laneMode();
+    if (mode == LaneMode::Avx512) {
+        for (; i + 2 * md5LaneWidthZmm <= n; i += 2 * md5LaneWidthZmm)
+            digestGroupPairAvx512(msgs + i * stride, stride, len,
+                                  out + i);
+        for (; i + md5LaneWidthZmm <= n; i += md5LaneWidthZmm)
+            digestGroupAvx512(msgs + i * stride, stride, len, out + i);
+        // Sub-16 tails drain through the ymm kernel when it exists
+        // (every AVX-512F CPU also runs AVX2, but the build may have
+        // gated the ymm TU off).
+        if (detail::md5LanesAvx2CompiledIn() && cpuHasAvx2())
+            mode = LaneMode::Avx2;
+    }
+    if (mode == LaneMode::Avx2) {
+        for (; i + 2 * md5LaneWidth <= n; i += 2 * md5LaneWidth)
+            digestGroupPairAvx2(msgs + i * stride, stride, len,
+                                out + i);
+        for (; i + md5LaneWidth <= n; i += md5LaneWidth)
+            digestGroupAvx2(msgs + i * stride, stride, len, out + i);
+    }
+    for (; i < n; ++i)
+        out[i] = Md5::digest(msgs + i * stride, len);
+}
+
+} // namespace crypto
+} // namespace obfusmem

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * AVX2 8-lane MD5 compression kernel.
+ *
+ * This translation unit is the only one compiled with -mavx2 (see
+ * src/crypto/CMakeLists.txt), following the aes128_aesni.cc isolation
+ * pattern: the ymm intrinsics stay confined to one object file and the
+ * dispatch in md5ShortBatch checks md5LanesAvx2CompiledIn() +
+ * cpuHasAvx2() before calling in.
+ *
+ * One MD5 step is identical arithmetic across independent messages, so
+ * eight single-block digests run in the eight 32-bit lanes of a ymm
+ * register. The step structure mirrors Md5::processBlock line for line
+ * (same round constants, same shift schedule, same (f, g) selection);
+ * only the scalar uint32_t ops become their _mm256 counterparts. The
+ * round-function rewrites avoid a vector NOT:
+ *
+ *   F: (b&c)|(~b&d)  ->  or(and(b,c), andnot(b,d))
+ *   G: (d&b)|(~d&c)  ->  or(and(d,b), andnot(d,c))
+ *   I: c^(b|~d)      ->  xor(c, xor(andnot(b,d), ones))   [De Morgan]
+ *
+ * The rotate uses the register-count shift forms (_mm256_sll_epi32 /
+ * _mm256_srl_epi32) because the shift amount varies per step; the
+ * count is public schedule data, never secret-dependent.
+ */
+
+#include "crypto/md5_lanes.hh"
+#include "util/logging.hh"
+
+#if defined(OBFUSMEM_HAVE_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace obfusmem {
+namespace crypto {
+namespace detail {
+
+#if defined(OBFUSMEM_HAVE_AVX2) && defined(__AVX2__)
+
+namespace {
+
+// Same tables as md5.cc (RFC 1321); duplicated here so the kernel TU
+// stays self-contained. The equivalence tests pin every lane against
+// the scalar context, so a divergence cannot survive CI.
+const uint32_t kTable[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+    0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+    0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+    0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+const int shifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+inline __m256i
+rotl32x8(__m256i x, int s)
+{
+    return _mm256_or_si256(_mm256_sll_epi32(x, _mm_cvtsi32_si128(s)),
+                           _mm256_srl_epi32(x, _mm_cvtsi32_si128(32 - s)));
+}
+
+} // namespace
+
+bool
+md5LanesAvx2CompiledIn()
+{
+    return true;
+}
+
+namespace {
+
+/** The per-step round function and message index (public schedule). */
+inline __m256i
+roundF(int i, __m256i b, __m256i c, __m256i d, __m256i ones)
+{
+    if (i < 16)
+        return _mm256_or_si256(_mm256_and_si256(b, c),
+                               _mm256_andnot_si256(b, d));
+    if (i < 32)
+        return _mm256_or_si256(_mm256_and_si256(d, b),
+                               _mm256_andnot_si256(d, c));
+    if (i < 48)
+        return _mm256_xor_si256(b, _mm256_xor_si256(c, d));
+    return _mm256_xor_si256(
+        c, _mm256_xor_si256(_mm256_andnot_si256(b, d), ones));
+}
+
+inline int
+roundG(int i)
+{
+    if (i < 16)
+        return i;
+    if (i < 32)
+        return (5 * i + 1) % 16;
+    if (i < 48)
+        return (3 * i + 5) % 16;
+    return (7 * i) % 16;
+}
+
+inline __m256i
+stepB(int i, __m256i a, __m256i b, __m256i f, __m256i mg)
+{
+    __m256i sum = _mm256_add_epi32(
+        _mm256_add_epi32(a, f),
+        _mm256_add_epi32(
+            _mm256_set1_epi32(static_cast<int>(kTable[i])), mg));
+    return _mm256_add_epi32(b, rotl32x8(sum, shifts[i]));
+}
+
+} // namespace
+
+void
+md5LanesAvx2Compress8(const uint32_t *words, uint32_t *state)
+{
+    __m256i m[16];
+    for (int w = 0; w < 16; ++w) {
+        m[w] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + w * md5LaneWidth));
+    }
+
+    const __m256i iv_a = _mm256_set1_epi32(0x67452301);
+    const __m256i iv_b = _mm256_set1_epi32(
+        static_cast<int>(0xefcdab89u));
+    const __m256i iv_c = _mm256_set1_epi32(
+        static_cast<int>(0x98badcfeu));
+    const __m256i iv_d = _mm256_set1_epi32(0x10325476);
+    const __m256i ones = _mm256_set1_epi32(-1);
+
+    __m256i a = iv_a, b = iv_b, c = iv_c, d = iv_d;
+
+    for (int i = 0; i < 64; ++i) {
+        __m256i f = roundF(i, b, c, d, ones);
+        __m256i nb = stepB(i, a, b, f, m[roundG(i)]);
+        a = d;
+        d = c;
+        c = b;
+        b = nb;
+    }
+
+    a = _mm256_add_epi32(a, iv_a);
+    b = _mm256_add_epi32(b, iv_b);
+    c = _mm256_add_epi32(c, iv_c);
+    d = _mm256_add_epi32(d, iv_d);
+
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state + 0 * 8), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state + 1 * 8), b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state + 2 * 8), c);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state + 3 * 8), d);
+}
+
+void
+md5LanesAvx2Compress8x2(const uint32_t *words0, uint32_t *state0,
+                        const uint32_t *words1, uint32_t *state1)
+{
+    // Each MD5 step depends on the previous one, so a lone 8-lane
+    // group is latency-bound (~the full chain per step). Feeding two
+    // independent groups through one interleaved instruction stream
+    // lets the second group's step issue into the bubbles of the
+    // first's, roughly doubling digests/second over back-to-back
+    // Compress8 calls.
+    __m256i m0[16], m1[16];
+    for (int w = 0; w < 16; ++w) {
+        m0[w] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+            words0 + w * md5LaneWidth));
+        m1[w] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+            words1 + w * md5LaneWidth));
+    }
+
+    const __m256i iv_a = _mm256_set1_epi32(0x67452301);
+    const __m256i iv_b = _mm256_set1_epi32(
+        static_cast<int>(0xefcdab89u));
+    const __m256i iv_c = _mm256_set1_epi32(
+        static_cast<int>(0x98badcfeu));
+    const __m256i iv_d = _mm256_set1_epi32(0x10325476);
+    const __m256i ones = _mm256_set1_epi32(-1);
+
+    __m256i a0 = iv_a, b0 = iv_b, c0 = iv_c, d0 = iv_d;
+    __m256i a1 = iv_a, b1 = iv_b, c1 = iv_c, d1 = iv_d;
+
+    for (int i = 0; i < 64; ++i) {
+        const int g = roundG(i);
+        __m256i f0 = roundF(i, b0, c0, d0, ones);
+        __m256i f1 = roundF(i, b1, c1, d1, ones);
+        __m256i nb0 = stepB(i, a0, b0, f0, m0[g]);
+        __m256i nb1 = stepB(i, a1, b1, f1, m1[g]);
+        a0 = d0;
+        d0 = c0;
+        c0 = b0;
+        b0 = nb0;
+        a1 = d1;
+        d1 = c1;
+        c1 = b1;
+        b1 = nb1;
+    }
+
+    a0 = _mm256_add_epi32(a0, iv_a);
+    b0 = _mm256_add_epi32(b0, iv_b);
+    c0 = _mm256_add_epi32(c0, iv_c);
+    d0 = _mm256_add_epi32(d0, iv_d);
+    a1 = _mm256_add_epi32(a1, iv_a);
+    b1 = _mm256_add_epi32(b1, iv_b);
+    c1 = _mm256_add_epi32(c1, iv_c);
+    d1 = _mm256_add_epi32(d1, iv_d);
+
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state0 + 0 * 8), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state0 + 1 * 8), b0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state0 + 2 * 8), c0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state0 + 3 * 8), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state1 + 0 * 8), a1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state1 + 1 * 8), b1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state1 + 2 * 8), c1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(state1 + 3 * 8), d1);
+}
+
+#else // !OBFUSMEM_HAVE_AVX2
+
+// Stub build (-DOBFUSMEM_DISABLE_AVX2=ON or a compiler without the
+// flag): the dispatch never calls in because md5LanesAvx2CompiledIn()
+// is false, but the symbols must exist for the link.
+
+bool
+md5LanesAvx2CompiledIn()
+{
+    return false;
+}
+
+void
+md5LanesAvx2Compress8(const uint32_t *, uint32_t *)
+{
+    panic("AVX2 MD5 kernel called in a build without AVX2 support");
+}
+
+void
+md5LanesAvx2Compress8x2(const uint32_t *, uint32_t *,
+                        const uint32_t *, uint32_t *)
+{
+    panic("AVX2 MD5 kernel called in a build without AVX2 support");
+}
+
+#endif // OBFUSMEM_HAVE_AVX2
+
+} // namespace detail
+} // namespace crypto
+} // namespace obfusmem

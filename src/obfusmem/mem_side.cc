@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "crypto/dh.hh"
+#include "obfusmem/proc_side.hh"
 #include "util/assert.hh"
 #include "util/logging.hh"
 
@@ -284,13 +285,20 @@ ObfusMemMemSide::sendReadReply(const WireHeader &req_hdr,
     ReplyPads pads;
     replyPads.take(ctr, pads.pad.data());
     schedulePadRefill();
-    WireMessage msg = makeDataMessage(pads.header(), pads.payload(),
-                                      hdr, data);
     padsUsed += 5;
-    if (params.auth)
-        attachMac(msg, mac.compute(hdr, ctr));
+    replyBurst.stageData(channel, pads.header(), pads.payload(), hdr,
+                         data, ctr);
+    if (!replyBurst.deferred())
+        flushReplyBurst();
+}
 
-    transmitReply(std::move(msg));
+void
+ObfusMemMemSide::flushReplyBurst()
+{
+    replyBurst.flushWith(mac, params.auth,
+        [this](unsigned, WireMessage &&msg, BurstBatch::Completion &&) {
+            transmitReply(std::move(msg));
+        });
 }
 
 void
@@ -304,15 +312,26 @@ ObfusMemMemSide::transmitReply(WireMessage msg)
         bus.send(BusDir::ToProcessor, bytes, snoop_addr, false,
                  [this, msg = std::move(msg)](const BusFault &fault)
                      mutable {
-                     panic_if(!replyTarget,
-                              "no reply target wired to mem side");
                      if (fault.corrupted)
                          corruptHeaderBit(msg, fault.entropy);
-                     if (fault.duplicated) {
-                         WireMessage copy = msg;
-                         replyTarget(std::move(copy));
+                     if (replyTarget) {
+                         // Test/tooling intercept.
+                         if (fault.duplicated) {
+                             WireMessage copy = msg;
+                             replyTarget(std::move(copy));
+                         }
+                         replyTarget(std::move(msg));
+                     } else {
+                         panic_if(!procSide,
+                                  "no reply target wired to mem side");
+                         if (fault.duplicated) {
+                             WireMessage copy = msg;
+                             procSide->receiveReply(channel,
+                                                    std::move(copy));
+                         }
+                         procSide->receiveReply(channel,
+                                                std::move(msg));
                      }
-                     replyTarget(std::move(msg));
                  });
     });
 }
@@ -497,7 +516,9 @@ ObfusMemMemSide::sendHandshakeResponse()
 {
     // Response chunks ride reply-shaped frames on the control tx
     // stream: indistinguishable on the wire from ordinary read
-    // replies. Control pads are not reported to the auditor.
+    // replies. Control pads are not reported to the auditor. All
+    // chunks of one response stage into one burst.
+    auto scope = burstScope(replyBurst, [this] { flushReplyBurst(); });
     for (const DataBlock &payload : respPayloads) {
         uint64_t ctr = ctlRespCounter;
         ctlRespCounter += countersPerReply;
@@ -507,11 +528,10 @@ ObfusMemMemSide::sendHandshakeResponse()
         hdr.addr = dummyBlockAddr;
         hdr.tag = 0;
         hdr.dummy = true;
-        WireMessage msg = makeDataMessage(pads.header(),
-                                          pads.payload(), hdr, payload);
-        if (params.auth)
-            attachMac(msg, mac.compute(hdr, ctr));
-        transmitReply(std::move(msg));
+        replyBurst.stageData(channel, pads.header(), pads.payload(),
+                             hdr, payload, ctr);
+        if (!replyBurst.deferred())
+            flushReplyBurst();
     }
 }
 

@@ -19,6 +19,7 @@
 #include "obfusmem/audit_hook.hh"
 #include "mem/channel_bus.hh"
 #include "mem/pcm_controller.hh"
+#include "obfusmem/burst_batch.hh"
 #include "obfusmem/params.hh"
 #include "obfusmem/wire_format.hh"
 #include "secure/pad_prefetcher.hh"
@@ -27,6 +28,8 @@
 #include "util/secret.hh"
 
 namespace obfusmem {
+
+class ObfusMemProcSide;
 
 /**
  * One channel's memory-side controller.
@@ -44,7 +47,17 @@ class ObfusMemMemSide : public SimObject
     /** Deliver a request message that has crossed the bus. */
     void receiveMessage(WireMessage msg);
 
-    /** Wire the processor-side reply receiver. */
+    /**
+     * Wire the processor side for the statically dispatched
+     * production reply path (no std::function hop per reply).
+     */
+    void setProcSide(ObfusMemProcSide *side) { procSide = side; }
+
+    /**
+     * Wire a reply intercept. The std::function hop survives as the
+     * test/tooling override (fault injection, frame capture); when
+     * set it takes precedence over the procSide pointer.
+     */
     void
     setReplyTarget(std::function<void(WireMessage &&)> target)
     {
@@ -135,6 +148,9 @@ class ObfusMemMemSide : public SimObject
     /** Push a built reply-direction frame onto the bus. */
     void transmitReply(WireMessage msg);
 
+    /** Batch-MAC + seal staged replies, then transmit in order. */
+    void flushReplyBurst();
+
     ObfusMemParams params;
     unsigned channel;
     crypto::AesCtr rxCipher; // processor -> memory direction
@@ -147,7 +163,13 @@ class ObfusMemMemSide : public SimObject
     Random junkRng;
     AuditHook *audit = nullptr;
 
+    /** Production reply receiver (static dispatch). */
+    ObfusMemProcSide *procSide = nullptr;
+    /** Test/tooling intercept; overrides procSide when set. */
     std::function<void(WireMessage &&)> replyTarget;
+
+    /** SoA staging for outbound replies of one call chain. */
+    BurstBatch replyBurst;
 
     uint64_t reqCounter = 0;
     /** Which message of the current request group is next (0 or 1). */

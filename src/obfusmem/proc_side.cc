@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obfusmem/mem_side.hh"
 #include "util/assert.hh"
 #include "util/logging.hh"
 
@@ -168,6 +169,10 @@ void
 ObfusMemProcSide::dispatch(unsigned channel, MemPacket pkt,
                            PacketCallback cb)
 {
+    // One request can fan out into many frames (its own group, fill
+    // dummies on every other channel, a write drain); the whole chain
+    // stages into one burst that flushes when this scope closes.
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     if (cs.health == ChannelHealth::Quarantined) {
         // The channel is out of service; the request cannot be
@@ -236,6 +241,7 @@ ObfusMemProcSide::ensureHeartbeats()
 void
 ObfusMemProcSide::heartbeat(unsigned channel)
 {
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     if (cs.health == ChannelHealth::Quarantined) {
         cs.heartbeatActive = false;
@@ -270,6 +276,9 @@ ObfusMemProcSide::heartbeat(unsigned channel)
 void
 ObfusMemProcSide::maybeDrainWrites(unsigned channel)
 {
+    // The drain loop is the deepest fan-out: a high-watermark drain
+    // stages maxOutstandingGroups' worth of frames into one burst.
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     if (cs.health != ChannelHealth::Active)
         return;
@@ -293,6 +302,9 @@ void
 ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
                             PacketCallback cb)
 {
+    // Standalone calls still batch the group's two frames; calls from
+    // a wider scope (dispatch, drain, heartbeat) nest into its burst.
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     uint64_t ctr = cs.reqCounter;
     OBF_DCHECK(ctr <= UINT64_MAX - countersPerRequestGroup,
@@ -332,11 +344,6 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             payload = pkt.data;
         }
 
-        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
-                                          hdr, payload);
-        if (params.auth)
-            attachMac(msg, mac.compute(hdr, ctr));
-
         ++cs.outstandingReads;
         if (is_read) {
             ++realReads;
@@ -345,7 +352,8 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             pend.rbFirst = hdr;
             pend.rbPayload = payload;
             cs.pending[hdr.tag] = std::move(pend);
-            transmit(channel, std::move(msg));
+            burst.stageData(channel, pads.pad[0], &pads.pad[2], hdr,
+                            payload, ctr);
         } else {
             ++realWrites;
             // The write's junk reply is discarded; completion is
@@ -355,26 +363,12 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             pend.rbFirst = hdr;
             pend.rbPayload = payload;
             cs.pending[hdr.tag] = std::move(pend);
-            uint64_t snoop_addr = msg.snoopAddr();
-            uint32_t bytes = msg.wireBytes(params.headerWireBytes,
-                                           params.macWireBytes);
-            cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, true,
-                [this, channel, msg = std::move(msg),
-                 pkt = std::move(pkt),
-                 cb = std::move(cb)](const BusFault &fault) mutable {
-                    ChannelState &cs2 = channelState[channel];
-                    panic_if(!cs2.toMem, "no request target wired");
-                    if (fault.corrupted)
-                        corruptHeaderBit(msg, fault.entropy);
-                    if (fault.duplicated) {
-                        WireMessage copy = msg;
-                        cs2.toMem(std::move(copy));
-                    }
-                    cs2.toMem(std::move(msg));
-                    if (cb)
-                        cb(std::move(pkt));
-                });
+            burst.stageData(channel, pads.pad[0], &pads.pad[2], hdr,
+                            payload, ctr, std::move(pkt),
+                            std::move(cb));
         }
+        if (!burst.deferred())
+            flushBurst();
         ensureWatchdog(channel);
         return;
     }
@@ -395,10 +389,9 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         }
         ++cs.outstandingReads;
 
-        WireMessage msg1 = makeHeaderMessage(pads.pad[0], hdr);
-        if (params.auth)
-            attachMac(msg1, mac.compute(hdr, ctr));
-        transmit(channel, std::move(msg1));
+        burst.stageHeader(channel, pads.pad[0], hdr, ctr);
+        if (!burst.deferred())
+            flushBurst();
 
         // Message 2: the paired write. When writes are piling up, a
         // real one substitutes for the dummy - same wire pattern, no
@@ -413,34 +406,17 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
             WireHeader whdr;
             whdr.cmd = MemCmd::Write;
             whdr.addr = qw.pkt.addr;
-            WireMessage msg2 = makeDataMessage(pads.pad[1],
-                                               &pads.pad[2], whdr,
-                                               qw.pkt.data);
-            if (params.auth)
-                attachMac(msg2, mac.compute(whdr, ctr + 1));
+            DataBlock payload = qw.pkt.data;
             {
                 PendingRead &pend = cs.pending[hdr.tag];
                 pend.rbSecond = whdr;
-                pend.rbPayload = qw.pkt.data;
+                pend.rbPayload = payload;
             }
-            uint64_t snoop_addr = msg2.snoopAddr();
-            uint32_t bytes = msg2.wireBytes(params.headerWireBytes,
-                                            params.macWireBytes);
-            cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, true,
-                [this, channel, msg2 = std::move(msg2),
-                 qw = std::move(qw)](const BusFault &fault) mutable {
-                    ChannelState &cs2 = channelState[channel];
-                    panic_if(!cs2.toMem, "no request target wired");
-                    if (fault.corrupted)
-                        corruptHeaderBit(msg2, fault.entropy);
-                    if (fault.duplicated) {
-                        WireMessage copy = msg2;
-                        cs2.toMem(std::move(copy));
-                    }
-                    cs2.toMem(std::move(msg2));
-                    if (qw.cb)
-                        qw.cb(std::move(qw.pkt));
-                });
+            burst.stageData(channel, pads.pad[1], &pads.pad[2], whdr,
+                            payload, ctr + 1, std::move(qw.pkt),
+                            std::move(qw.cb));
+            if (!burst.deferred())
+                flushBurst();
             ensureWatchdog(channel);
             return;
         }
@@ -451,16 +427,15 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         dummy_hdr.dummy = true;
         DataBlock junk;
         junkRng.fillBytes(junk.data(), junk.size());
-        WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
-                                           dummy_hdr, junk);
-        if (params.auth)
-            attachMac(msg2, mac.compute(dummy_hdr, ctr + 1));
         {
             PendingRead &pend = cs.pending[hdr.tag];
             pend.rbSecond = dummy_hdr;
             pend.rbPayload = junk;
         }
-        transmit(channel, std::move(msg2));
+        burst.stageData(channel, pads.pad[1], &pads.pad[2], dummy_hdr,
+                        junk, ctr + 1);
+        if (!burst.deferred())
+            flushBurst();
         ensureWatchdog(channel);
         return;
     }
@@ -490,52 +465,26 @@ ObfusMemProcSide::sendGroup(unsigned channel, MemPacket pkt,
         cs.pending[dummy_hdr.tag] = std::move(pend);
     }
 
-    crypto::Md5Digest macs[2];
-    if (params.auth) {
-        const WireHeader hdrs[2] = {dummy_hdr, hdr};
-        const uint64_t ctrs[2] = {ctr, ctr + 1};
-        mac.computeBatch(hdrs, ctrs, macs, 2);
-    }
-
-    WireMessage msg1 = makeHeaderMessage(pads.pad[0], dummy_hdr);
-    if (params.auth)
-        attachMac(msg1, macs[0]);
-    transmit(channel, std::move(msg1));
+    burst.stageHeader(channel, pads.pad[0], dummy_hdr, ctr);
+    if (!burst.deferred())
+        flushBurst();
 
     // Second encryption on top of the memory-encryption ciphertext:
-    // hides temporal reuse of unmodified data (Observation 1).
-    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
-                                       hdr, pkt.data);
-    if (params.auth)
-        attachMac(msg2, macs[1]);
-
-    // The write is posted: complete it to the requester when the
-    // message has fully crossed the bus.
-    ChannelState &state = channelState[channel];
-    uint64_t snoop_addr = msg2.snoopAddr();
-    uint32_t bytes = msg2.wireBytes(params.headerWireBytes, params.macWireBytes);
-    bool is_data = msg2.hasData;
-    state.bus->send(BusDir::ToMemory, bytes, snoop_addr, is_data,
-        [this, channel, msg2 = std::move(msg2), pkt = std::move(pkt),
-         cb = std::move(cb)](const BusFault &fault) mutable {
-            ChannelState &cs2 = channelState[channel];
-            panic_if(!cs2.toMem, "no request target wired");
-            if (fault.corrupted)
-                corruptHeaderBit(msg2, fault.entropy);
-            if (fault.duplicated) {
-                WireMessage copy = msg2;
-                cs2.toMem(std::move(copy));
-            }
-            cs2.toMem(std::move(msg2));
-            if (cb)
-                cb(std::move(pkt));
-        });
+    // hides temporal reuse of unmodified data (Observation 1). The
+    // write is posted: its completion fires when the sealed frame has
+    // fully crossed the bus.
+    DataBlock payload = pkt.data;
+    burst.stageData(channel, pads.pad[1], &pads.pad[2], hdr, payload,
+                    ctr + 1, std::move(pkt), std::move(cb));
+    if (!burst.deferred())
+        flushBurst();
     ensureWatchdog(channel);
 }
 
 void
 ObfusMemProcSide::sendDummyGroup(unsigned channel)
 {
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ++channelFillGroups;
     ChannelState &cs = channelState[channel];
     uint64_t ctr = cs.reqCounter;
@@ -574,11 +523,10 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
             pend.rbPayload = junk;
             cs.pending[rd.tag] = std::move(pend);
         }
-        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
-                                          rd, junk);
-        if (params.auth)
-            attachMac(msg, mac.compute(rd, ctr));
-        transmit(channel, std::move(msg));
+        burst.stageData(channel, pads.pad[0], &pads.pad[2], rd, junk,
+                        ctr);
+        if (!burst.deferred())
+            flushBurst();
         ensureWatchdog(channel);
         return;
     }
@@ -595,17 +543,9 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
     wr.addr = dummyAddrFor(channel, cs.dummyAddr);
     wr.dummy = true;
 
-    crypto::Md5Digest macs[2];
-    if (params.auth) {
-        const WireHeader hdrs[2] = {rd, wr};
-        const uint64_t ctrs[2] = {ctr, ctr + 1};
-        mac.computeBatch(hdrs, ctrs, macs, 2);
-    }
-
-    WireMessage msg1 = makeHeaderMessage(pads.pad[0], rd);
-    if (params.auth)
-        attachMac(msg1, macs[0]);
-    transmit(channel, std::move(msg1));
+    burst.stageHeader(channel, pads.pad[0], rd, ctr);
+    if (!burst.deferred())
+        flushBurst();
 
     DataBlock junk;
     junkRng.fillBytes(junk.data(), junk.size());
@@ -617,11 +557,10 @@ ObfusMemProcSide::sendDummyGroup(unsigned channel)
         pend.rbPayload = junk;
         cs.pending[rd.tag] = std::move(pend);
     }
-    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
-                                       wr, junk);
-    if (params.auth)
-        attachMac(msg2, macs[1]);
-    transmit(channel, std::move(msg2));
+    burst.stageData(channel, pads.pad[1], &pads.pad[2], wr, junk,
+                    ctr + 1);
+    if (!burst.deferred())
+        flushBurst();
     ensureWatchdog(channel);
 }
 
@@ -657,24 +596,55 @@ ObfusMemProcSide::injectChannelDummies(unsigned active_channel)
 }
 
 void
-ObfusMemProcSide::transmit(unsigned channel, WireMessage msg)
+ObfusMemProcSide::flushBurst()
+{
+    // The back half of the pipeline runs here: one vectorized MAC
+    // batch over every staged (header, counter) pair, one SoA seal
+    // pass, then the bus enqueues in stage order. Enqueue order is all
+    // the bus observes of us within a tick (serialization happens on
+    // later ticks), so the wire trace is bit-identical to per-message
+    // flushing — CI diffs OBFUSMEM_BURST_BATCH=0/1 to hold us to that.
+    burst.flushWith(mac, params.auth,
+        [this](unsigned channel, WireMessage &&msg,
+               BurstBatch::Completion &&done) {
+            deliverStaged(channel, std::move(msg), std::move(done));
+        });
+}
+
+void
+ObfusMemProcSide::deliverStaged(unsigned channel, WireMessage &&msg,
+                                BurstBatch::Completion &&done)
 {
     ChannelState &cs = channelState[channel];
     uint64_t snoop_addr = msg.snoopAddr();
-    uint32_t bytes = msg.wireBytes(params.headerWireBytes, params.macWireBytes);
+    uint32_t bytes = msg.wireBytes(params.headerWireBytes,
+                                   params.macWireBytes);
     bool is_data = msg.hasData;
     cs.bus->send(BusDir::ToMemory, bytes, snoop_addr, is_data,
-        [this, channel, msg = std::move(msg)](const BusFault &fault)
-            mutable {
+        [this, channel, msg = std::move(msg), pkt = std::move(done.pkt),
+         cb = std::move(done.cb)](const BusFault &fault) mutable {
             ChannelState &cs2 = channelState[channel];
-            panic_if(!cs2.toMem, "no request target wired");
             if (fault.corrupted)
                 corruptHeaderBit(msg, fault.entropy);
-            if (fault.duplicated) {
-                WireMessage copy = msg;
-                cs2.toMem(std::move(copy));
+            if (cs2.toMem) {
+                // Test/tooling intercept (fault injection, capture).
+                if (fault.duplicated) {
+                    WireMessage copy = msg;
+                    cs2.toMem(std::move(copy));
+                }
+                cs2.toMem(std::move(msg));
+            } else {
+                panic_if(!cs2.memSide, "no request target wired");
+                if (fault.duplicated) {
+                    WireMessage copy = msg;
+                    cs2.memSide->receiveMessage(std::move(copy));
+                }
+                cs2.memSide->receiveMessage(std::move(msg));
             }
-            cs2.toMem(std::move(msg));
+            // Posted-write completion: the requester learns the write
+            // crossed the bus, exactly when the far pin saw it.
+            if (cb)
+                cb(std::move(pkt));
         });
 }
 
@@ -786,6 +756,8 @@ ObfusMemProcSide::ensureWatchdog(unsigned channel)
 void
 ObfusMemProcSide::watchdogTick(unsigned channel)
 {
+    // Retransmits of every overdue group batch into one burst.
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     cs.watchdogActive = false;
     if (cs.health == ChannelHealth::Quarantined)
@@ -830,6 +802,7 @@ ObfusMemProcSide::watchdogTick(unsigned channel)
 void
 ObfusMemProcSide::retransmitGroup(unsigned channel, uint16_t tag)
 {
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     if (cs.health != ChannelHealth::Active)
         return;
@@ -863,29 +836,20 @@ ObfusMemProcSide::retransmitGroup(unsigned channel, uint16_t tag)
     p.lastSend = curTick();
 
     if (params.uniformPackets) {
-        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
-                                          p.rbFirst, p.rbPayload);
-        if (params.auth)
-            attachMac(msg, mac.compute(p.rbFirst, ctr));
-        transmit(channel, std::move(msg));
+        burst.stageData(channel, pads.pad[0], &pads.pad[2], p.rbFirst,
+                        p.rbPayload, ctr);
+        if (!burst.deferred())
+            flushBurst();
         return;
     }
 
-    crypto::Md5Digest macs[2];
-    if (params.auth) {
-        const WireHeader hdrs[2] = {p.rbFirst, p.rbSecond};
-        const uint64_t ctrs[2] = {ctr, ctr + 1};
-        mac.computeBatch(hdrs, ctrs, macs, 2);
-    }
-    WireMessage msg1 = makeHeaderMessage(pads.pad[0], p.rbFirst);
-    if (params.auth)
-        attachMac(msg1, macs[0]);
-    transmit(channel, std::move(msg1));
-    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
-                                       p.rbSecond, p.rbPayload);
-    if (params.auth)
-        attachMac(msg2, macs[1]);
-    transmit(channel, std::move(msg2));
+    burst.stageHeader(channel, pads.pad[0], p.rbFirst, ctr);
+    if (!burst.deferred())
+        flushBurst();
+    burst.stageData(channel, pads.pad[1], &pads.pad[2], p.rbSecond,
+                    p.rbPayload, ctr + 1);
+    if (!burst.deferred())
+        flushBurst();
 }
 
 void
@@ -906,6 +870,8 @@ ObfusMemProcSide::startRekey(unsigned channel)
 void
 ObfusMemProcSide::sendRekeyRequest(unsigned channel)
 {
+    // All handshake chunks of one attempt batch into one burst.
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     if (cs.rekeyAttempts >= params.recovery.rekeyMaxAttempts) {
         quarantineChannel(channel);
@@ -948,6 +914,7 @@ void
 ObfusMemProcSide::sendControlGroup(unsigned channel,
                                    const DataBlock &payload)
 {
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     // Control frames mirror a normal request group's wire shape
     // exactly; only the key and the counter stream differ, neither of
     // which is visible on the wire. Control pads are not reported to
@@ -962,11 +929,10 @@ ObfusMemProcSide::sendControlGroup(unsigned channel,
         hdr.cmd = MemCmd::Write;
         hdr.addr = cs.dummyAddr;
         hdr.dummy = true;
-        WireMessage msg = makeDataMessage(pads.pad[0], &pads.pad[2],
-                                          hdr, payload);
-        if (params.auth)
-            attachMac(msg, mac.compute(hdr, ctr));
-        transmit(channel, std::move(msg));
+        burst.stageData(channel, pads.pad[0], &pads.pad[2], hdr,
+                        payload, ctr);
+        if (!burst.deferred())
+            flushBurst();
         return;
     }
 
@@ -979,21 +945,13 @@ ObfusMemProcSide::sendControlGroup(unsigned channel,
     wr.addr = cs.dummyAddr;
     wr.dummy = true;
 
-    crypto::Md5Digest macs[2];
-    if (params.auth) {
-        const WireHeader hdrs[2] = {rd, wr};
-        const uint64_t ctrs[2] = {ctr, ctr + 1};
-        mac.computeBatch(hdrs, ctrs, macs, 2);
-    }
-    WireMessage msg1 = makeHeaderMessage(pads.pad[0], rd);
-    if (params.auth)
-        attachMac(msg1, macs[0]);
-    transmit(channel, std::move(msg1));
-    WireMessage msg2 = makeDataMessage(pads.pad[1], &pads.pad[2],
-                                       wr, payload);
-    if (params.auth)
-        attachMac(msg2, macs[1]);
-    transmit(channel, std::move(msg2));
+    burst.stageHeader(channel, pads.pad[0], rd, ctr);
+    if (!burst.deferred())
+        flushBurst();
+    burst.stageData(channel, pads.pad[1], &pads.pad[2], wr, payload,
+                    ctr + 1);
+    if (!burst.deferred())
+        flushBurst();
 }
 
 void
@@ -1096,6 +1054,9 @@ void
 ObfusMemProcSide::finishRekey(unsigned channel,
                               const std::vector<uint8_t> &peer_pub)
 {
+    // The replay of every outstanding group and the release of held
+    // requests all stage into one burst under the new epoch key.
+    auto scope = burstScope(burst, [this] { flushBurst(); });
     ChannelState &cs = channelState[channel];
     crypto::BigUint pub =
         crypto::BigUint::fromBytes(peer_pub.data(), peer_pub.size());

@@ -23,6 +23,7 @@
 #include "obfusmem/audit_hook.hh"
 #include "mem/channel_bus.hh"
 #include "mem/packet.hh"
+#include "obfusmem/burst_batch.hh"
 #include "obfusmem/params.hh"
 #include "obfusmem/wire_format.hh"
 #include "secure/pad_prefetcher.hh"
@@ -31,6 +32,8 @@
 #include "util/secret.hh"
 
 namespace obfusmem {
+
+class ObfusMemMemSide;
 
 /**
  * The processor-side controller for all channels. Implements MemSink,
@@ -56,7 +59,22 @@ class ObfusMemProcSide : public SimObject, public MemSink
 
     void access(MemPacket pkt, PacketCallback cb) override;
 
-    /** Wire the request receiver (memory side) for a channel. */
+    /**
+     * Wire a channel's memory side for the statically dispatched
+     * production path. Delivery calls receiveMessage through this
+     * pointer directly — no std::function hop per message.
+     */
+    void
+    setMemSide(unsigned channel, ObfusMemMemSide *side)
+    {
+        channelState[channel].memSide = side;
+    }
+
+    /**
+     * Wire a request intercept for a channel. The std::function hop
+     * survives as the test/tooling override (fault injection, frame
+     * capture); when set it takes precedence over the memSide pointer.
+     */
     void
     setRequestTarget(unsigned channel,
                      std::function<void(WireMessage &&)> target)
@@ -183,6 +201,9 @@ class ObfusMemProcSide : public SimObject, public MemSink
         unsigned outstandingReads = 0;
         uint64_t dummyAddr = 0;
         ChannelBus *bus = nullptr;
+        /** Production receiver (static dispatch). */
+        ObfusMemMemSide *memSide = nullptr;
+        /** Test/tooling intercept; overrides memSide when set. */
         std::function<void(WireMessage &&)> toMem;
         std::unordered_map<uint16_t, PendingRead> pending;
         std::deque<QueuedWrite> writeQueue;
@@ -245,8 +266,15 @@ class ObfusMemProcSide : public SimObject, public MemSink
     /** Inject dummies on other channels per the configured scheme. */
     void injectChannelDummies(unsigned active_channel);
 
-    /** Put one message on a channel's bus. */
-    void transmit(unsigned channel, WireMessage msg);
+    /**
+     * Back half of the batch pipeline: batch-MAC + seal every staged
+     * frame, then enqueue each on its channel's bus in stage order.
+     */
+    void flushBurst();
+
+    /** Enqueue one sealed frame (bus callback owns the delivery). */
+    void deliverStaged(unsigned channel, WireMessage &&msg,
+                       BurstBatch::Completion &&done);
 
     /** Schedule zero-delay refills for a channel's depleted rings. */
     void schedulePadRefill(unsigned channel);
@@ -300,6 +328,8 @@ class ObfusMemProcSide : public SimObject, public MemSink
     ObfusMemParams params;
     const AddressMap &addrMap;
     MacEngine mac;
+    /** SoA staging for all outbound frames of one call chain. */
+    BurstBatch burst;
     std::vector<ChannelState> channelState;
     Random junkRng;
     Random rekeyRng{0xa11ce000};

@@ -154,8 +154,7 @@ MemoryEncryptionEngine::counterDigest(uint64_t page) const
 }
 
 void
-MemoryEncryptionEngine::bmtVerify(uint64_t page,
-                                  std::function<void(Tick)> k)
+MemoryEncryptionEngine::bmtVerify(uint64_t page, TickCont k)
 {
     if (!params.integrity) {
         k(curTick());
@@ -258,8 +257,7 @@ MemoryEncryptionEngine::writebackCounter(uint64_t ctr_block_addr,
 }
 
 void
-MemoryEncryptionEngine::withCounter(uint64_t page,
-                                    std::function<void(Tick)> k)
+MemoryEncryptionEngine::withCounter(uint64_t page, TickCont k)
 {
     uint64_t ctr_addr = counterBlockAddr(page);
     Tick cache_lat = params.counterCacheLatency * params.corePeriod;

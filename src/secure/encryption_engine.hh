@@ -26,6 +26,7 @@
 #include "mem/packet.hh"
 #include "secure/merkle.hh"
 #include "secure/pad_prefetcher.hh"
+#include "sim/inline_function.hh"
 #include "sim/sim_object.hh"
 #include "util/secret.hh"
 
@@ -165,20 +166,29 @@ class MemoryEncryptionEngine : public SimObject, public MemSink
     static crypto::Md5Digest freshPageDigest(uint64_t page_bytes);
 
     /**
+     * Continuation resumed with the tick at which its input (counter
+     * block, Merkle ancestor) is available. Inline storage sized for
+     * the largest capture on the write path (this + MemPacket +
+     * PacketCallback + page); anything bigger fails to compile rather
+     * than reintroducing a heap hop per counter fetch.
+     */
+    using TickCont = InlineFunction<void(Tick), 192>;
+
+    /**
      * Ensure the counter block for `page` is on chip; k runs with the
      * tick at which the counters are available.
      */
-    void withCounter(uint64_t page, std::function<void(Tick)> k);
+    void withCounter(uint64_t page, TickCont k);
 
     /** Model Merkle verification traffic for a fetched counter. */
-    void bmtVerify(uint64_t page, std::function<void(Tick)> k);
+    void bmtVerify(uint64_t page, TickCont k);
 
     /** State of an in-progress Merkle path walk. */
     struct BmtWalk
     {
         unsigned level;
         uint64_t index;
-        std::function<void(Tick)> k;
+        TickCont k;
     };
 
     /** One async step of the Merkle path walk. */
@@ -221,7 +231,7 @@ class MemoryEncryptionEngine : public SimObject, public MemSink
     FuncCache counterCache;
     FuncCache bmtCache;
 
-    std::unordered_map<uint64_t, std::vector<std::function<void(Tick)>>>
+    std::unordered_map<uint64_t, std::vector<TickCont>>
         pendingCounterFetches;
 
     /**

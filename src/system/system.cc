@@ -202,15 +202,13 @@ System::buildMemoryPath()
                 "system.obfusMem" + std::to_string(c), eq, &root, om,
                 c, channelKeys[c], *buses[c], *pcms[c], *store,
                 dummy_addrs[c]));
+            // Production wiring is direct pointers: message delivery
+            // is a virtual-free static call, no std::function hop.
+            // (Tests that need to intercept frames still use
+            // setRequestTarget/setReplyTarget, which override these.)
             ObfusMemMemSide *side = obfusMem.back().get();
-            obfusProc->setRequestTarget(c,
-                [side](WireMessage &&msg) {
-                    side->receiveMessage(std::move(msg));
-                });
-            ObfusMemProcSide *proc = obfusProc.get();
-            side->setReplyTarget([proc, c](WireMessage &&msg) {
-                proc->receiveReply(c, std::move(msg));
-            });
+            obfusProc->setMemSide(c, side);
+            side->setProcSide(obfusProc.get());
         }
 
         if (traceAuditor) {

@@ -353,3 +353,102 @@ TEST(AesEngineParams, MatchesPaperSynthesis)
     EXPECT_NEAR(AesEngineParams::powerMw, 15.1, 1e-9);
     EXPECT_NEAR(AesEngineParams::areaMm2, 0.204, 1e-9);
 }
+
+namespace {
+
+bool
+implAvailable(AesImpl impl)
+{
+    switch (impl) {
+      case AesImpl::Aesni:
+      case AesImpl::Aesni4:
+        return Aes128::aesniAvailable();
+      case AesImpl::Vaes:
+        return Aes128::vaesAvailable();
+      default:
+        return true;
+    }
+}
+
+/** The lanes the SoA pipeline dispatches across, widest last. */
+constexpr AesImpl kAllImpls[] = {
+    AesImpl::Ttable, AesImpl::Reference, AesImpl::Aesni,
+    AesImpl::Aesni4, AesImpl::Vaes,
+};
+
+} // namespace
+
+TEST(Aes128, Fips197EveryImplementation)
+{
+    // The FIPS-197 Appendix B vector must come out of every lane the
+    // dispatch can pick, not just the scalar paths.
+    for (AesImpl impl : kAllImpls) {
+        if (!implAvailable(impl))
+            continue;
+        Aes128 aes(block("2b7e151628aed2a6abf7158809cf4f3c"));
+        aes.setImpl(impl);
+        EXPECT_EQ(toHex(aes.encryptBlock(
+                      block("3243f6a8885a308d313198a2e0370734"))),
+                  "3925841d02dc09fbdc118597196a0b32")
+            << aesImplName(impl);
+    }
+}
+
+TEST(Aes128, EncryptBlocksCrossImplRandomized)
+{
+    // Randomized equivalence of the batched entry point across every
+    // available implementation, over sizes that cross the 4-wide and
+    // 16-wide grouping boundaries, out-of-place and aliased in place.
+    Random rng(0xba7c4);
+    Aes128 ref(block("000102030405060708090a0b0c0d0e0f"));
+    ref.setImpl(AesImpl::Reference);
+    for (size_t n : {1u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u, 48u}) {
+        std::vector<Block128> in(n), expect(n);
+        for (auto &b : in)
+            rng.fillBytes(b.data(), b.size());
+        ref.encryptBlocks(in.data(), expect.data(), n);
+        for (AesImpl impl : kAllImpls) {
+            if (!implAvailable(impl))
+                continue;
+            Aes128 aes(block("000102030405060708090a0b0c0d0e0f"));
+            aes.setImpl(impl);
+            std::vector<Block128> out(n);
+            aes.encryptBlocks(in.data(), out.data(), n);
+            EXPECT_EQ(out, expect)
+                << aesImplName(impl) << " n=" << n;
+            std::vector<Block128> aliased = in;
+            aes.encryptBlocks(aliased.data(), aliased.data(), n);
+            EXPECT_EQ(aliased, expect)
+                << aesImplName(impl) << " aliased n=" << n;
+        }
+    }
+}
+
+TEST(AesCtr, GenPadsCrossImplEquivalence)
+{
+    // genPads builds IVs in the output buffer and encrypts them in
+    // place (aliased), so every lane must agree on the aliasing
+    // contract as well as the ciphertexts. Includes the request-group
+    // stride (6) and the bench's per-flush arena size (192).
+    AesCtr ref(block("2b7e151628aed2a6abf7158809cf4f3c"), 0xabcd);
+    ref.setImpl(AesImpl::Reference);
+    for (AesImpl impl : kAllImpls) {
+        if (!implAvailable(impl))
+            continue;
+        AesCtr ctr(block("2b7e151628aed2a6abf7158809cf4f3c"), 0xabcd);
+        ctr.setImpl(impl);
+        for (size_t n : {1u, 5u, 6u, 17u, 192u}) {
+            std::vector<Block128> expect(n), got(n);
+            ref.genPads(7777, expect.data(), n);
+            ctr.genPads(7777, got.data(), n);
+            EXPECT_EQ(got, expect)
+                << aesImplName(impl) << " n=" << n;
+        }
+    }
+}
+
+TEST(Aes128, WideImplNamesStable)
+{
+    EXPECT_STREQ(aesImplName(AesImpl::Aesni4), "aesni4");
+    EXPECT_STREQ(aesImplName(AesImpl::Vaes), "vaes");
+}
