@@ -5,8 +5,6 @@
 
 #include "runner/sweep.hh"
 
-#include <thread>
-
 #include "util/env.hh"
 
 namespace obfusmem {
@@ -15,16 +13,9 @@ namespace runner {
 unsigned
 jobsFromEnv()
 {
-    static const unsigned jobs = [] {
-        uint64_t parsed = env::u64("OBFUSMEM_BENCH_JOBS", 1);
-        if (parsed == 0) {
-            // 0 means "one job per hardware thread".
-            unsigned hw = std::thread::hardware_concurrency();
-            return hw ? hw : 1u;
-        }
-        // Cap at a sane bound; a sweep never has thousands of points.
-        return static_cast<unsigned>(parsed > 256 ? 256 : parsed);
-    }();
+    // 0 means "one job per hardware thread"; huge values are capped
+    // (a sweep never has thousands of points). Latched on first use.
+    static const unsigned jobs = env::jobs("OBFUSMEM_BENCH_JOBS", 1);
     return jobs;
 }
 

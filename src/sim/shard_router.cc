@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ShardRouter implementation.
+ */
+
+#include "sim/shard_router.hh"
+
+#include <algorithm>
+
+#include "util/assert.hh"
+
+namespace obfusmem {
+
+ShardRouter::ShardRouter(std::vector<EventQueue *> endpoint_queues,
+                         std::vector<unsigned> shard_of,
+                         unsigned shards)
+    : queues(std::move(endpoint_queues)), shardOf(std::move(shard_of)),
+      shardCount(shards), boxes(size_t(shards) * shards * 2),
+      srcSeq(queues.size()), scratch(shards),
+      posted(shards), drained(shards)
+{
+    OBF_ASSERT(shardCount > 0, "router needs at least one shard");
+    OBF_ASSERT(shardOf.size() == queues.size(),
+               "shard map / queue count mismatch");
+    for (unsigned s : shardOf)
+        OBF_ASSERT(s < shardCount, "endpoint mapped to shard ", s,
+                   " of ", shardCount);
+}
+
+void
+ShardRouter::post(unsigned src, unsigned dst, Tick when,
+                  EventQueue::Callback cb)
+{
+    OBF_DCHECK(src < queues.size() && dst < queues.size(),
+               "cross-shard post between unknown endpoints ", src,
+               " -> ", dst);
+    Mailbox &mb = box(shardOf[src], shardOf[dst], roundParity);
+    mb.events.push_back(CrossEvent{when, src, dst,
+                                   srcSeq[src].next++, std::move(cb)});
+    posted.add(shardOf[src]);
+}
+
+void
+ShardRouter::drainTo(unsigned dst_shard, unsigned parity)
+{
+    std::vector<CrossEvent> &all = scratch[dst_shard];
+    all.clear();
+    // Gather from every source shard in fixed order...
+    for (unsigned s = 0; s < shardCount; ++s) {
+        Mailbox &mb = box(s, dst_shard, parity);
+        for (CrossEvent &ev : mb.events)
+            all.push_back(std::move(ev));
+        mb.events.clear();
+    }
+    // ...then impose the shard-layout-independent total order. The
+    // key is unique — a source endpoint never reuses a sequence
+    // number — so plain sort is stable in effect, and the projection
+    // of this order onto any one destination queue is independent of
+    // how endpoints were grouped into shards.
+    std::sort(all.begin(), all.end(),
+              [](const CrossEvent &a, const CrossEvent &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+    for (CrossEvent &ev : all) {
+        queues[ev.dst]->schedule(ev.when, std::move(ev.cb));
+        drained.add(dst_shard);
+    }
+    all.clear();
+}
+
+void
+ShardRouter::attachStats(statistics::Group &parent)
+{
+    parent.addScalar("crossPosted", posted.merged(),
+                     "cross-shard events posted to mailboxes");
+    parent.addScalar("crossDrained", drained.merged(),
+                     "cross-shard events drained into shard queues");
+}
+
+} // namespace obfusmem

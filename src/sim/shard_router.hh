@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic cross-shard event exchange for the sharded simulation
+ * kernel (sharded_kernel.hh).
+ *
+ * Endpoints (event queues, e.g. one per simulated socket) are
+ * partitioned across shards; each shard pair gets a pair of SPSC
+ * mailboxes (one per epoch parity). During an epoch a source shard
+ * appends cross-shard events to the current-parity mailbox without
+ * taking any lock — the parity scheme guarantees no consumer touches
+ * that buffer until the next epoch barrier, and the barrier itself
+ * (WorkerGroup's mutex/condvar join) publishes the writes. At the
+ * start of the next round the destination shard drains the opposite
+ * parity from every source shard in fixed order and re-sorts by the
+ * shard-layout-independent key (when, source endpoint, per-source
+ * sequence number) before scheduling into the destination queues, so
+ * the insertion order — and therefore every (when, seq) tie-break in
+ * the destination kernel — is bit-identical whether the simulation
+ * runs on 1 shard or N.
+ */
+
+#ifndef OBFUSMEM_SIM_SHARD_ROUTER_HH
+#define OBFUSMEM_SIM_SHARD_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+
+namespace obfusmem {
+
+/**
+ * Mailbox fabric between shards. Owned and driven by ShardedKernel;
+ * exposed separately so tests can exercise the exchange protocol on
+ * bare event queues.
+ */
+class ShardRouter
+{
+  public:
+    /** One cross-shard message: run `cb` on endpoint `dst` at `when`. */
+    struct CrossEvent
+    {
+        Tick when;
+        uint32_t src; ///< source endpoint id (global, not shard)
+        uint32_t dst; ///< destination endpoint id
+        uint64_t seq; ///< per-source monotonic sequence number
+        EventQueue::Callback cb;
+    };
+
+    /**
+     * @param endpoint_queues Destination queue per endpoint id.
+     * @param shard_of Owning shard per endpoint id.
+     * @param shards Number of shards (mailboxes are shards²×2).
+     */
+    ShardRouter(std::vector<EventQueue *> endpoint_queues,
+                std::vector<unsigned> shard_of, unsigned shards);
+
+    /**
+     * Post a cross-shard event. Must be called on the shard thread
+     * that owns `src`, during that shard's run phase. The caller
+     * (ShardedKernel::post) enforces the lookahead contract:
+     * `when` at or past the next epoch boundary.
+     */
+    void post(unsigned src, unsigned dst, Tick when,
+              EventQueue::Callback cb);
+
+    /**
+     * Drain every mailbox of parity @p parity destined for
+     * @p dst_shard, in deterministic order, scheduling each event
+     * into its destination endpoint's queue. Must be called on
+     * @p dst_shard's thread, after the epoch barrier, before the
+     * shard's run phase.
+     */
+    void drainTo(unsigned dst_shard, unsigned parity);
+
+    /**
+     * Flip the active posting parity for the coming round. Called by
+     * the kernel between rounds (workers quiescent).
+     */
+    void setRoundParity(unsigned parity) { roundParity = parity; }
+
+    /** Messages posted minus messages drained (kernel termination). */
+    uint64_t
+    inFlight() const
+    {
+        return posted.value() - drained.value();
+    }
+
+    /** Fold the per-shard counters (call between rounds). */
+    void
+    mergeStats()
+    {
+        posted.merge();
+        drained.merge();
+    }
+
+    uint64_t messagesPosted() const { return posted.value(); }
+    uint64_t messagesDrained() const { return drained.value(); }
+
+    /** Register the router counters under @p parent. */
+    void attachStats(statistics::Group &parent);
+
+  private:
+    /// SPSC mailbox for one (src shard, dst shard, parity) triple.
+    /// Producer: src shard's run phase. Consumer: dst shard's drain
+    /// phase one round later. Never both in the same phase.
+    struct Mailbox
+    {
+        std::vector<CrossEvent> events;
+    };
+
+    Mailbox &
+    box(unsigned src_shard, unsigned dst_shard, unsigned parity)
+    {
+        return boxes[(src_shard * shardCount + dst_shard) * 2 + parity];
+    }
+
+    /// Per-source-endpoint sequence counters, cache-line padded: a
+    /// counter is only ever touched by its endpoint's owning shard,
+    /// but neighbors would false-share without the padding.
+    struct alignas(64) SrcSeq
+    {
+        uint64_t next = 0;
+    };
+
+    std::vector<EventQueue *> queues;
+    std::vector<unsigned> shardOf;
+    unsigned shardCount;
+    unsigned roundParity = 0;
+    std::vector<Mailbox> boxes;
+    std::vector<SrcSeq> srcSeq;
+    /// Drain-side scratch, one per shard (reused across rounds so the
+    /// merge-sort does not allocate at steady state).
+    std::vector<std::vector<CrossEvent>> scratch;
+
+    statistics::ShardedScalar posted;
+    statistics::ShardedScalar drained;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_SHARD_ROUTER_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Sharded deterministic simulation kernel: runs many event queues
+ * (one per simulated socket/endpoint) in parallel across persistent
+ * worker threads, synchronized by conservative-lookahead epoch
+ * barriers.
+ *
+ * Time is divided into epochs of `lookahead` ticks. Within an epoch
+ * every shard executes its endpoints' events independently — legal
+ * because the only inter-endpoint coupling is through ShardRouter
+ * posts, and the kernel enforces that a post made during epoch E can
+ * only target a tick at or after the start of epoch E+1 (the
+ * conservative lookahead: any physical link crossing shards must have
+ * latency >= the epoch length; the fixed channel/interconnect latency
+ * is the natural window). Mailboxes are drained at epoch boundaries
+ * in a fixed, shard-layout-independent order (see shard_router.hh),
+ * so simulated results — wire traces, stats, event order — are
+ * bit-identical at 1 shard and at N.
+ *
+ * `OBFUSMEM_SIM_SHARDS` selects the worker count (1 = serial on the
+ * calling thread, 0 = one per hardware thread), mirroring
+ * `OBFUSMEM_BENCH_JOBS`.
+ */
+
+#ifndef OBFUSMEM_SIM_SHARDED_KERNEL_HH
+#define OBFUSMEM_SIM_SHARDED_KERNEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/shard_router.hh"
+#include "util/assert.hh"
+
+namespace obfusmem {
+
+namespace runner {
+class WorkerGroup;
+}
+
+class ShardedKernel
+{
+  public:
+    struct Params
+    {
+        /**
+         * Worker shards. 1 runs everything serially on the calling
+         * thread — through the same epoch/drain code path, which is
+         * what makes the shards=1 vs N comparison meaningful.
+         * Clamped to the endpoint count.
+         */
+        unsigned shards = 1;
+        /**
+         * Epoch length in ticks. Every cross-shard post must be
+         * scheduled at least this far past the start of the epoch it
+         * was posted in; the natural choice is the (minimum) latency
+         * of the physical link that crosses shards.
+         */
+        Tick lookahead = 0;
+    };
+
+    /** Shard count from OBFUSMEM_SIM_SHARDS (1 default, 0 = auto). */
+    static unsigned shardsFromEnv();
+
+    explicit ShardedKernel(const Params &params);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    /**
+     * Register an endpoint (one independently steppable event queue).
+     * Endpoints are assigned to shards round-robin in registration
+     * order. All endpoints must be registered before the first run().
+     * @return The endpoint id used for post().
+     */
+    unsigned addEndpoint(EventQueue &eq);
+
+    /**
+     * Post a callback to run on endpoint @p dst's queue at absolute
+     * tick @p when. Must be called from @p src's shard during a run
+     * phase (i.e. from inside an executing event), and @p when must
+     * respect the lookahead: at or past the end of the current epoch.
+     * Panics otherwise — a violation would make results depend on the
+     * shard layout.
+     */
+    void post(unsigned src, unsigned dst, Tick when,
+              EventQueue::Callback cb);
+
+    /** Summary of one run() call. */
+    struct RunSummary
+    {
+        uint64_t epochs = 0;
+        uint64_t eventsExecuted = 0;
+        uint64_t crossMessages = 0;
+        /** Tick the kernel clock reached (last epoch boundary). */
+        Tick endTick = 0;
+    };
+
+    /**
+     * Run epochs until every endpoint queue is empty and no message
+     * is in flight in the mailboxes. Per-shard stats are merged at
+     * every epoch boundary (workers quiescent under the barrier).
+     */
+    RunSummary run();
+
+    unsigned shards() const { return shardCount; }
+    unsigned endpoints() const
+    {
+        return static_cast<unsigned>(queues.size());
+    }
+    Tick lookahead() const { return params.lookahead; }
+    uint64_t epochsRun() const { return rounds; }
+    ShardRouter &router()
+    {
+        OBF_ASSERT(theRouter != nullptr, "kernel not sealed yet");
+        return *theRouter;
+    }
+
+    /** Register kernel + router counters as `shardkernel` groups. */
+    void attachStats(statistics::Group &parent);
+
+  private:
+    void seal();
+    void roundFn(unsigned shard, unsigned parity, Tick epoch_end);
+
+    Params params;
+    unsigned shardCount = 1; ///< effective count, fixed at seal()
+    std::vector<EventQueue *> queues;
+    std::vector<unsigned> shardOf;
+    /// Endpoint ids per shard, ascending (drain/run order in a round).
+    std::vector<std::vector<unsigned>> owned;
+    std::unique_ptr<ShardRouter> theRouter;
+    std::unique_ptr<runner::WorkerGroup> workers;
+    bool sealed = false;
+
+    uint64_t rounds = 0;
+    /// End tick of the epoch currently running (the post() horizon).
+    /// Written between rounds, read by shard threads during rounds;
+    /// the WorkerGroup round handshake orders the accesses.
+    Tick curEpochEnd = 0;
+
+    statistics::Scalar statEpochs;
+    std::unique_ptr<statistics::Group> statGroup;
+};
+
+} // namespace obfusmem
+
+#endif // OBFUSMEM_SIM_SHARDED_KERNEL_HH

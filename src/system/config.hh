@@ -81,6 +81,15 @@ struct SystemConfig
     OramFixedLatency::Params oramFixed{};
     OramDetailed::Params oramDetailed{};
 
+    /**
+     * Build the trace cores and warm the caches. The datacenter
+     * topology (system/topology.hh) drives the memory path directly
+     * with tenant generators instead; skipping core construction
+     * there avoids paying the per-socket cache warm-up for cores
+     * that never start. System::run() requires cores.
+     */
+    bool buildCores = true;
+
     /** Attach the attacker's bus observer. */
     bool attachObserver = true;
 

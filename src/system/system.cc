@@ -60,7 +60,8 @@ System::System(const SystemConfig &config)
     caches = std::make_unique<CacheHierarchy>("system.caches", eq,
                                               &root, cfg.hierarchy,
                                               *memoryPath);
-    buildCores();
+    if (cfg.buildCores)
+        buildCores();
 }
 
 System::~System() = default;
@@ -327,6 +328,9 @@ System::buildCores()
 System::RunResult
 System::run()
 {
+    panic_if(cores.empty(),
+             "System::run() on a coreless system (buildCores=false); "
+             "drive the memory path directly instead");
     for (auto &core : cores)
         core->start();
 

@@ -81,6 +81,13 @@ class System
 
     EventQueue &eventQueue() { return eq; }
     PacketPool &packetPool() { return pktPool; }
+    /**
+     * The configured protection path's entry point (what the LLC
+     * talks to). External drivers — the multi-tenant topology's
+     * tenant generators — issue timed requests here directly,
+     * modelling an LLC-miss stream without the core/cache machinery.
+     */
+    MemSink &memorySink() { return *memoryPath; }
     statistics::Group &rootStats() { return root; }
     CacheHierarchy &hierarchy() { return *caches; }
     BackingStore &backingStore() { return *store; }

@@ -21,6 +21,7 @@
 #include <initializer_list>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "util/logging.hh"
 
@@ -91,6 +92,25 @@ f64(const char *name, double def)
         return def;
     }
     return parsed;
+}
+
+/**
+ * Worker-count knob (OBFUSMEM_BENCH_JOBS, OBFUSMEM_SIM_SHARDS):
+ * parsed like u64, but 0 means "one per hardware thread" (with a
+ * fallback of 1 when the runtime cannot report concurrency), and the
+ * result is clamped to @p cap — neither a sweep nor a shard set ever
+ * usefully exceeds a couple hundred workers, and a typo'd huge value
+ * would otherwise try to spawn that many threads.
+ */
+inline unsigned
+jobs(const char *name, unsigned def, unsigned cap = 256)
+{
+    uint64_t parsed = u64(name, def);
+    if (parsed == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1u;
+    }
+    return static_cast<unsigned>(parsed > cap ? cap : parsed);
 }
 
 /**

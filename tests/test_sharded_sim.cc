@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Sharded simulation kernel tests: the hard requirement is that
+ * simulated results are bit-identical at OBFUSMEM_SIM_SHARDS=1 and N
+ * — the synthetic-workload tests compare full execution logs across
+ * shard counts, the topology tests compare wire traces and stats
+ * dumps of a small multi-tenant rack. Ordering tests run against both
+ * event-queue backends, including events that land exactly at and one
+ * tick past the lookahead horizon (where the timing wheel's overflow
+ * heap takes over, since the horizon sits beyond the wheel span).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/sharded_kernel.hh"
+#include "system/topology.hh"
+
+using namespace obfusmem;
+
+namespace {
+
+std::string
+implName(const ::testing::TestParamInfo<EvqImpl> &info)
+{
+    return info.param == EvqImpl::Wheel ? "wheel" : "heap";
+}
+
+/**
+ * Synthetic cross-endpoint workload: chains of events hopping around
+ * the endpoint ring through kernel.post(). Each endpoint logs every
+ * hop it executes; logs are per-endpoint (only ever touched by the
+ * owning shard) and concatenated in endpoint order afterwards, so two
+ * runs are comparable regardless of the shard layout.
+ */
+struct RingWorkload
+{
+    ShardedKernel kernel;
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::vector<std::vector<std::pair<Tick, uint64_t>>> logs;
+    unsigned endpoints;
+    Tick lookahead;
+    int maxHops;
+
+    RingWorkload(unsigned shards, unsigned endpoints_, Tick lookahead_,
+                 int max_hops, EvqImpl impl)
+        : kernel({shards, lookahead_}), logs(endpoints_),
+          endpoints(endpoints_), lookahead(lookahead_),
+          maxHops(max_hops)
+    {
+        for (unsigned e = 0; e < endpoints; ++e) {
+            queues.push_back(std::make_unique<EventQueue>(impl));
+            kernel.addEndpoint(*queues.back());
+        }
+    }
+
+    void hop(unsigned e, int h, uint64_t chain)
+    {
+        const Tick now = queues[e]->curTick();
+        logs[e].push_back({now, chain * 1000 + h});
+        if (h >= maxHops)
+            return;
+        const unsigned dst = (e + 1) % endpoints;
+        // Deterministic jitter so hops land at varied offsets inside
+        // their epoch, not just on the boundary.
+        const Tick when = now + lookahead + (chain * 7 + h) % 11;
+        kernel.post(e, dst, when, [this, dst, h, chain]() {
+            hop(dst, h + 1, chain);
+        });
+    }
+
+    ShardedKernel::RunSummary run()
+    {
+        for (unsigned e = 0; e < endpoints; ++e) {
+            queues[e]->schedule(1 + e, [this, e]() {
+                hop(e, 0, e);
+            });
+        }
+        return kernel.run();
+    }
+};
+
+class ShardedKernelImplTest : public ::testing::TestWithParam<EvqImpl>
+{
+};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Impls, ShardedKernelImplTest,
+                         ::testing::Values(EvqImpl::Wheel,
+                                           EvqImpl::Heap),
+                         implName);
+
+TEST_P(ShardedKernelImplTest, ShardCountNeverChangesResults)
+{
+    const Tick lookahead = 5000;
+    std::vector<std::vector<std::pair<Tick, uint64_t>>> ref_logs;
+    ShardedKernel::RunSummary ref{};
+    for (unsigned shards : {1u, 2u, 3u, 6u}) {
+        RingWorkload w(shards, 6, lookahead, 25, GetParam());
+        ShardedKernel::RunSummary sum = w.run();
+        if (shards == 1) {
+            ref_logs = w.logs;
+            ref = sum;
+            continue;
+        }
+        EXPECT_EQ(w.logs, ref_logs) << "shards=" << shards;
+        EXPECT_EQ(sum.epochs, ref.epochs);
+        EXPECT_EQ(sum.eventsExecuted, ref.eventsExecuted);
+        EXPECT_EQ(sum.crossMessages, ref.crossMessages);
+        EXPECT_EQ(sum.endTick, ref.endTick);
+    }
+}
+
+TEST(ShardedKernelTest, ShardsClampToEndpointCount)
+{
+    RingWorkload w(16, 3, 1000, 2, EvqImpl::Wheel);
+    w.run();
+    EXPECT_EQ(w.kernel.shards(), 3u);
+    EXPECT_EQ(w.kernel.endpoints(), 3u);
+}
+
+TEST(ShardedKernelTest, SummaryCountsAreConsistent)
+{
+    RingWorkload w(2, 4, 2000, 10, EvqImpl::Wheel);
+    ShardedKernel::RunSummary sum = w.run();
+    // 4 chains x (1 seed event + 10 posted hops).
+    EXPECT_EQ(sum.eventsExecuted, 4u * 11u);
+    EXPECT_EQ(sum.crossMessages, 4u * 10u);
+    EXPECT_GT(sum.epochs, 0u);
+    EXPECT_EQ(sum.endTick, sum.epochs * 2000);
+    uint64_t logged = 0;
+    for (auto &l : w.logs)
+        logged += l.size();
+    EXPECT_EQ(logged, sum.eventsExecuted);
+}
+
+TEST(ShardedKernelDeathTest, PostBelowHorizonPanics)
+{
+    ASSERT_DEATH(
+        {
+            // Single shard: the violation must trip even on the
+            // inline path (and the death test stays single-threaded).
+            RingWorkload w(1, 2, 1000, 1, EvqImpl::Wheel);
+            w.queues[0]->schedule(5, [&]() {
+                // Legal posts need when >= the end of the current
+                // epoch; tick 500 is inside it.
+                w.kernel.post(0, 1, 500, []() {});
+            });
+            w.kernel.run();
+        },
+        "lookahead horizon");
+}
+
+TEST(ShardedKernelDeathTest, ZeroLookaheadPanics)
+{
+    ASSERT_DEATH(ShardedKernel({1, 0}), "lookahead");
+}
+
+/**
+ * The lookahead horizon of the datacenter topology (link latency,
+ * hundreds of microseconds) sits far past the timing wheel's span, so
+ * every cross-shard event enters the destination wheel's overflow
+ * heap and must promote back into the wheel as epochs advance. Pin
+ * the interaction down at the exact boundary: events at precisely the
+ * horizon tick and one tick past it, on both backends, with the wheel
+ * backend required to report overflow promotions.
+ */
+TEST_P(ShardedKernelImplTest, OverflowPromotionAcrossEpochBarriers)
+{
+    // Wheel span is 1 << 16 ticks; make the epoch clear it.
+    const Tick lookahead = (1ull << 16) + 4096;
+    RingWorkload w(2, 2, lookahead, 0, GetParam());
+
+    std::vector<std::pair<Tick, int>> fired;
+    w.queues[0]->schedule(1, [&]() {
+        const Tick horizon = lookahead; // end of epoch 0
+        // Exactly at the horizon: the earliest legal landing tick.
+        w.kernel.post(0, 1, horizon, [&, horizon]() {
+            fired.push_back({w.queues[1]->curTick(), 0});
+            EXPECT_EQ(w.queues[1]->curTick(), horizon);
+        });
+        // One tick past the horizon.
+        w.kernel.post(0, 1, horizon + 1, [&, horizon]() {
+            fired.push_back({w.queues[1]->curTick(), 1});
+        });
+        // Deep into a later epoch: far beyond the wheel span even
+        // relative to the drain tick.
+        w.kernel.post(0, 1, horizon * 3 + 7, [&]() {
+            fired.push_back({w.queues[1]->curTick(), 2});
+        });
+    });
+    ShardedKernel::RunSummary sum = w.kernel.run();
+
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], (std::pair<Tick, int>{lookahead, 0}));
+    EXPECT_EQ(fired[1], (std::pair<Tick, int>{lookahead + 1, 1}));
+    EXPECT_EQ(fired[2], (std::pair<Tick, int>{lookahead * 3 + 7, 2}));
+    EXPECT_EQ(sum.crossMessages, 3u);
+    if (GetParam() == EvqImpl::Wheel) {
+        // At drain time the deep event is still far beyond the wheel
+        // span; it must take the overflow-heap path and promote back
+        // into the wheel as the epochs advance.
+        EXPECT_GT(w.queues[1]->overflowPromotions(), 0u);
+    }
+}
+
+// --- Multi-tenant topology ------------------------------------------
+
+namespace {
+
+struct RackRun
+{
+    std::string traces;
+    std::string stats;
+    MultiTenantTopology::Result result;
+};
+
+RackRun
+runSmallRack(unsigned shards)
+{
+    TopologyConfig tc;
+    tc.sockets = 4;
+    tc.channelsPerSocket = 2;
+    tc.tenantsPerSocket = 2;
+    tc.mode = ProtectionMode::ObfusMemAuth;
+    tc.channelScheme = ChannelScheme::Opt;
+    tc.shards = shards;
+    tc.recordTraces = true;
+    tc.capacityBytes = 1ull << 30;
+
+    TenantParams tp;
+    tp.requests = 120;
+    tp.outstanding = 3;
+    tp.remoteFraction = 0.2;
+
+    MultiTenantTopology rack(tc, tp);
+    RackRun run;
+    run.result = rack.run();
+    std::ostringstream traces, stats;
+    rack.dumpWireTraces(traces);
+    rack.dumpStats(stats);
+    run.traces = traces.str();
+    run.stats = stats.str();
+    return run;
+}
+
+} // namespace
+
+TEST(MultiTenantTopologyTest, BitIdenticalAcrossShardCounts)
+{
+    RackRun s1 = runSmallRack(1);
+    ASSERT_GT(s1.result.requestsCompleted, 0u);
+    EXPECT_EQ(s1.result.requestsCompleted, 4u * 2u * 120u);
+    EXPECT_GT(s1.result.remoteRequests, 0u);
+    EXPECT_GT(s1.result.crossMessages, 0u);
+    EXPECT_FALSE(s1.traces.empty());
+
+    for (unsigned shards : {2u, 4u}) {
+        RackRun sn = runSmallRack(shards);
+        EXPECT_EQ(sn.traces, s1.traces) << "shards=" << shards;
+        EXPECT_EQ(sn.stats, s1.stats) << "shards=" << shards;
+        EXPECT_EQ(sn.result.lastCompletionTick,
+                  s1.result.lastCompletionTick);
+        EXPECT_EQ(sn.result.crossMessages, s1.result.crossMessages);
+        EXPECT_EQ(sn.result.eventsExecuted, s1.result.eventsExecuted);
+        EXPECT_EQ(sn.result.epochs, s1.result.epochs);
+        EXPECT_EQ(sn.result.avgLatencyNs, s1.result.avgLatencyNs);
+    }
+}
+
+TEST(MultiTenantTopologyTest, RemoteTrafficCrossesTheKernel)
+{
+    RackRun run = runSmallRack(2);
+    // Every remote request takes two link hops (request + reply).
+    EXPECT_GE(run.result.crossMessages,
+              2 * run.result.remoteRequests);
+    EXPECT_GT(run.result.epochs, 0u);
+    EXPECT_GT(run.result.avgLatencyNs, 0.0);
+}
