@@ -1,11 +1,13 @@
 /**
  * @file
- * Ablation: the paper's optimistic fixed-2500ns ORAM model versus a
- * detailed Path ORAM that issues every bucket-block transfer against
- * the PCM substrate. The paper notes its latency assumption is
+ * Ablation: the paper's optimistic fixed-2500ns ORAM model versus the
+ * ORAM models that issue every block transfer against the PCM
+ * substrate - a detailed Path ORAM (small tree) and the two
+ * write-only competitors (Flat ORAM, deterministic stash-free
+ * write-only ORAM). The paper notes its latency assumption is
  * optimistic (unlimited bandwidth, unconstrained PCM write power);
- * this bench quantifies how much the device-level costs add for a
- * small tree.
+ * this bench quantifies how much the device-level costs add, and how
+ * far the write-only relaxation undercuts both.
  */
 
 #include <cstdio>
@@ -20,16 +22,16 @@ main()
 {
     bench::Session session("ablation_oram_model");
     printHeader("Ablation: fixed-latency ORAM model vs detailed "
-                "Path ORAM (small tree)");
+                "ORAM models (small tree)");
 
     const char *benchmarks[] = {"milc", "sjeng", "hmmer"};
 
-    std::printf("%-12s %14s %16s %14s %14s\n", "Benchmark",
+    std::printf("%-10s %11s %13s %10s %9s %9s %9s %8s\n", "Benchmark",
                 "FixedORAM%", "DetailedORAM%", "Blocks/acc",
-                "MaxStash");
-    std::printf("%.*s\n", 74,
+                "PeakStash", "FlatORAM%", "WoORAM%", "WoBlk/W");
+    std::printf("%.*s\n", 86,
                 "----------------------------------------------------"
-                "----------------------");
+                "----------------------------------");
 
     struct Row
     {
@@ -37,6 +39,8 @@ main()
         uint64_t accesses = 0;
         uint64_t blocksTransferred = 0;
         size_t maxStash = 0;
+        uint64_t logicalWrites = 0;
+        uint64_t physicalWrites = 0;
     };
     std::vector<SystemConfig> cfgs;
     for (const char *name : benchmarks) {
@@ -54,7 +58,20 @@ main()
         det_cfg.mode = ProtectionMode::OramDetailed;
         det_cfg.oramDetailed.oram.levels = 12;
         det_cfg.oramDetailed.oram.stashLimit = 4000;
+        // This ablation deliberately undersizes the tree relative to
+        // the workload's footprint to expose the stash inflation (the
+        // MaxStash column); opt out of the fail-stop default so the
+        // overflow is measured rather than aborted on.
+        det_cfg.oramDetailed.oram.failOnOverflow = false;
         cfgs.push_back(det_cfg);
+
+        SystemConfig flat_cfg = base_cfg;
+        flat_cfg.mode = ProtectionMode::FlatOram;
+        cfgs.push_back(flat_cfg);
+
+        SystemConfig wo_cfg = base_cfg;
+        wo_cfg.mode = ProtectionMode::WriteOnlyOram;
+        cfgs.push_back(wo_cfg);
     }
     const auto rows =
         sweep(cfgs, [](System &sys, const RunOutcome &out) {
@@ -64,39 +81,81 @@ main()
                 row.accesses = sys.oramDetailed()->oram().accesses();
                 row.blocksTransferred =
                     sys.oramDetailed()->blocksTransferred();
+                // Report the mid-access transient peak, not the
+                // post-eviction residue: the transient is what a
+                // hardware stash must physically hold.
                 row.maxStash =
-                    sys.oramDetailed()->oram().maxStashSize();
+                    sys.oramDetailed()->oram().maxTransientStashSize();
+            }
+            if (sys.flatOramCtl()) {
+                row.accesses = sys.flatOramCtl()->oram().accesses();
+                row.blocksTransferred =
+                    sys.flatOramCtl()->blocksTransferred();
+            }
+            if (sys.writeOnlyOramCtl()) {
+                const WriteOnlyOram &wo =
+                    sys.writeOnlyOramCtl()->oram();
+                row.accesses = wo.accesses();
+                row.blocksTransferred =
+                    sys.writeOnlyOramCtl()->blocksTransferred();
+                row.logicalWrites = wo.logicalWrites();
+                row.physicalWrites = wo.physicalWrites();
             }
             return row;
         });
 
+    constexpr size_t kStride = 5;
     int n = 0;
     for (const char *name : benchmarks) {
-        const Row *row = &rows[3 * n];
+        const Row *row = &rows[kStride * n];
         Tick base = row[0].out.result.execTicks;
         Tick fixed = row[1].out.result.execTicks;
         const Row &det = row[2];
+        const Row &flat = row[3];
+        const Row &wo = row[4];
 
         double blocks_per_access =
             det.accesses ? static_cast<double>(det.blocksTransferred)
                                / det.accesses
                          : 0.0;
+        double wo_blocks_per_write =
+            wo.logicalWrites
+                ? static_cast<double>(wo.physicalWrites)
+                      / wo.logicalWrites
+                : 0.0;
 
-        std::printf("%-12s %14.0f %16.0f %14.1f %14zu\n", name,
-                    overheadPct(fixed, base),
+        std::printf("%-10s %11.0f %13.0f %10.1f %9zu %9.1f %9.1f "
+                    "%8.1f\n",
+                    name, overheadPct(fixed, base),
                     overheadPct(det.out.result.execTicks, base),
-                    blocks_per_access, det.maxStash);
+                    blocks_per_access, det.maxStash,
+                    overheadPct(flat.out.result.execTicks, base),
+                    overheadPct(wo.out.result.execTicks, base),
+                    wo_blocks_per_write);
         jsonRow("ablation_oram_model", "oram_detailed", name,
                 det.out.result.execTicks,
                 overheadPct(det.out.result.execTicks, base),
                 det.out.wallMs);
+        jsonRow("ablation_oram_model", "flat_oram", name,
+                flat.out.result.execTicks,
+                overheadPct(flat.out.result.execTicks, base),
+                flat.out.wallMs);
+        jsonRow("ablation_oram_model", "wo_oram", name,
+                wo.out.result.execTicks,
+                overheadPct(wo.out.result.execTicks, base),
+                wo.out.wallMs);
         ++n;
     }
 
-    std::printf("\nThe detailed model (L=12 tree, ~52 blocks per "
+    std::printf("\nThe detailed Path ORAM (L=12 tree, ~52 blocks per "
                 "path each way) already exceeds\nthe fixed 2500 ns "
                 "model once real bus/bank contention is paid; the "
                 "paper's\nfull-scale L=24 tree would roughly double "
-                "the per-access traffic again.\n");
+                "the per-access traffic again. The\nwrite-only "
+                "relaxation removes the path entirely: Flat ORAM "
+                "moves 1 block per\naccess, the deterministic WoORAM "
+                "exactly 2 per write - which is why their\noverhead "
+                "sits orders of magnitude below the path-based "
+                "tree.\n");
     return 0;
 }

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "system/oblivious_backend.hh"
 #include "system/system.hh"
 
 using namespace obfusmem;
@@ -32,7 +33,8 @@ usage()
     std::cout <<
         "usage: obfussim [options]\n"
         "  --mode M           unprotected | encryption-only | obfusmem |\n"
-        "                     obfusmem+auth | oram-fixed | oram-detailed\n"
+        "                     obfusmem+auth | oram-fixed | oram-detailed |\n"
+        "                     flat-oram | wo-oram (any registry name)\n"
         "  --benchmark B      one of Table 1's SPEC names (default milc)\n"
         "  --trace FILE       replay a recorded memory trace instead\n"
         "  --instrs N         instructions per core (default 200000)\n"
@@ -89,20 +91,14 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--mode") {
             std::string m = next();
-            if (m == "unprotected")
-                cfg.mode = ProtectionMode::Unprotected;
-            else if (m == "encryption-only")
-                cfg.mode = ProtectionMode::EncryptionOnly;
-            else if (m == "obfusmem")
-                cfg.mode = ProtectionMode::ObfusMem;
-            else if (m == "obfusmem+auth")
-                cfg.mode = ProtectionMode::ObfusMemAuth;
-            else if (m == "oram-fixed")
-                cfg.mode = ProtectionMode::OramFixed;
-            else if (m == "oram-detailed")
-                cfg.mode = ProtectionMode::OramDetailed;
-            else
-                die("unknown mode " + m);
+            const ObliviousBackendInfo *info = backendInfoByName(m);
+            if (!info) {
+                std::string names;
+                for (const auto &row : allBackendInfos())
+                    names += std::string(" ") + row.name;
+                die("unknown mode " + m + " (known:" + names + ")");
+            }
+            cfg.mode = info->mode;
         } else if (arg == "--benchmark") {
             cfg.benchmark = next();
         } else if (arg == "--trace") {

@@ -56,34 +56,27 @@ OramFixedLatency::access(MemPacket pkt, PacketCallback cb)
 }
 
 // ---------------------------------------------------------------------
-// OramDetailed
+// OramPhasedController
 // ---------------------------------------------------------------------
 
-OramDetailed::OramDetailed(const std::string &name, EventQueue &eq,
-                           statistics::Group *parent,
-                           const Params &params_, MemSink &memory_)
-    : SimObject(name, eq, parent), params(params_), memory(memory_),
-      tree(params_.oram)
+OramPhasedController::OramPhasedController(const std::string &name,
+                                           EventQueue &eq,
+                                           statistics::Group *parent,
+                                           MemSink &memory_,
+                                           uint64_t region_base,
+                                           Tick per_block_latency)
+    : SimObject(name, eq, parent), memory(memory_),
+      regionBase(region_base), perBlockLatency(per_block_latency)
 {
     stats().addScalar("accesses", &accesses, "ORAM accesses");
     stats().addScalar("physicalTransfers", &physicalTransfers,
-                      "bucket blocks moved to/from memory");
+                      "blocks moved to/from memory");
     stats().addAverage("accessLatencyNs", &accessLatencyNs,
                        "end-to-end ORAM access latency");
-    stats().addAverage("stashOccupancy", &stashOccupancy,
-                       "stash size after each access");
-}
-
-uint64_t
-OramDetailed::slotAddr(const PathOram::SlotRef &slot) const
-{
-    return params.treeBase
-           + (slot.bucket * params.oram.bucketSize + slot.slot)
-                 * blockBytes;
 }
 
 void
-OramDetailed::access(MemPacket pkt, PacketCallback cb)
+OramPhasedController::access(MemPacket pkt, PacketCallback cb)
 {
     queue.push_back({std::move(pkt), std::move(cb)});
     if (!busy)
@@ -91,7 +84,7 @@ OramDetailed::access(MemPacket pkt, PacketCallback cb)
 }
 
 void
-OramDetailed::startNext()
+OramPhasedController::startNext()
 {
     if (queue.empty()) {
         busy = false;
@@ -104,26 +97,15 @@ OramDetailed::startNext()
     ++accesses;
     Tick started = curTick();
 
-    // Functional access first: it yields the data and the path slots.
-    uint64_t block_id = req.pkt.addr / blockBytes;
-    DataBlock result;
-    if (req.pkt.isRead()) {
-        result = tree.read(block_id);
-    } else {
-        tree.write(block_id, req.pkt.data);
-        result = req.pkt.data;
-    }
-    stashOccupancy.sample(static_cast<double>(tree.stashSize()));
+    // Functional access first: it yields the data and the physical
+    // transfer plan.
+    AccessPlan plan = planAccess(req.pkt);
 
-    std::vector<PathOram::SlotRef> slots = tree.lastPathSlots();
-
-    // Phase 1: read every path block; phase 2: write them all back.
     struct Txn
     {
         MemPacket pkt;
         PacketCallback cb;
-        DataBlock result;
-        std::vector<PathOram::SlotRef> slots;
+        AccessPlan plan;
         size_t pendingReads = 0;
         size_t pendingWrites = 0;
         Tick started;
@@ -131,26 +113,29 @@ OramDetailed::startNext()
     auto txn = std::make_shared<Txn>();
     txn->pkt = std::move(req.pkt);
     txn->cb = std::move(req.cb);
-    txn->result = result;
-    txn->slots = std::move(slots);
-    txn->pendingReads = txn->slots.size();
+    txn->plan = std::move(plan);
     txn->started = started;
 
     auto finish = [this, txn]() {
-        Tick done = curTick() + params.perBlockLatency;
+        Tick done = curTick() + perBlockLatency;
         accessLatencyNs.sample(ticksToNs(done - txn->started));
         eventQueue().schedule(done, [this, txn]() {
             MemPacket resp = std::move(txn->pkt);
             if (resp.isRead())
-                resp.data = txn->result;
+                resp.data = txn->plan.result;
             txn->cb(std::move(resp));
             startNext();
         });
     };
 
+    // Phase 2: write every planned block.
     auto startWrites = [this, txn, finish]() {
-        txn->pendingWrites = txn->slots.size();
-        for (const auto &slot : txn->slots) {
+        if (txn->plan.writeSlots.empty()) {
+            finish();
+            return;
+        }
+        txn->pendingWrites = txn->plan.writeSlots.size();
+        for (uint64_t slot : txn->plan.writeSlots) {
             ++physicalTransfers;
             MemPacket wr;
             wr.cmd = MemCmd::Write;
@@ -164,7 +149,13 @@ OramDetailed::startNext()
         }
     };
 
-    for (const auto &slot : txn->slots) {
+    // Phase 1: read every planned block.
+    if (txn->plan.readSlots.empty()) {
+        startWrites();
+        return;
+    }
+    txn->pendingReads = txn->plan.readSlots.size();
+    for (uint64_t slot : txn->plan.readSlots) {
         ++physicalTransfers;
         MemPacket rd;
         rd.cmd = MemCmd::Read;
@@ -176,6 +167,124 @@ OramDetailed::startNext()
                     startWrites();
             });
     }
+}
+
+// ---------------------------------------------------------------------
+// OramDetailed
+// ---------------------------------------------------------------------
+
+OramDetailed::OramDetailed(const std::string &name, EventQueue &eq,
+                           statistics::Group *parent,
+                           const Params &params_, MemSink &memory_)
+    : OramPhasedController(name, eq, parent, memory_,
+                           params_.treeBase,
+                           params_.perBlockLatency),
+      params(params_), tree(params_.oram)
+{
+    stats().addAverage("stashOccupancy", &stashOccupancy,
+                       "stash size after each access");
+    stats().addAverage("stashPeakOccupancy", &stashPeakOccupancy,
+                       "mid-access transient stash peak");
+}
+
+OramPhasedController::AccessPlan
+OramDetailed::planAccess(const MemPacket &pkt)
+{
+    AccessPlan plan;
+    uint64_t block_id = pkt.addr / blockBytes;
+    if (pkt.isRead()) {
+        plan.result = tree.read(block_id);
+    } else {
+        tree.write(block_id, pkt.data);
+        plan.result = pkt.data;
+    }
+    stashOccupancy.sample(static_cast<double>(tree.stashSize()));
+    stashPeakOccupancy.sample(
+        static_cast<double>(tree.lastAccessPeakStash()));
+
+    // Every access reads the whole path and evicts onto it.
+    const auto &slots = tree.lastPathSlots();
+    plan.readSlots.reserve(slots.size());
+    for (const auto &slot : slots) {
+        plan.readSlots.push_back(
+            slot.bucket * params.oram.bucketSize + slot.slot);
+    }
+    plan.writeSlots = plan.readSlots;
+    return plan;
+}
+
+// ---------------------------------------------------------------------
+// FlatOramController
+// ---------------------------------------------------------------------
+
+FlatOramController::FlatOramController(const std::string &name,
+                                       EventQueue &eq,
+                                       statistics::Group *parent,
+                                       const Params &params_,
+                                       MemSink &memory_)
+    : OramPhasedController(name, eq, parent, memory_,
+                           params_.arrayBase,
+                           params_.perBlockLatency),
+      params(params_), flat(params_.oram)
+{
+    stats().addAverage("writeProbes", &writeProbes,
+                       "occupancy probes per write");
+}
+
+OramPhasedController::AccessPlan
+FlatOramController::planAccess(const MemPacket &pkt)
+{
+    AccessPlan plan;
+    // The flat array serves a bounded block space; alias the physical
+    // address into it, like a set of ORAM-backed ways would.
+    uint64_t block_id =
+        (pkt.addr / blockBytes) % flat.capacityBlocks();
+    if (pkt.isRead()) {
+        plan.result = flat.read(block_id);
+        plan.readSlots = flat.lastReadSlots();
+    } else {
+        flat.write(block_id, pkt.data);
+        plan.result = pkt.data;
+        plan.writeSlots = flat.lastWriteSlots();
+        writeProbes.sample(
+            static_cast<double>(flat.lastProbeCount()));
+    }
+    return plan;
+}
+
+// ---------------------------------------------------------------------
+// WriteOnlyOramController
+// ---------------------------------------------------------------------
+
+WriteOnlyOramController::WriteOnlyOramController(
+        const std::string &name, EventQueue &eq,
+        statistics::Group *parent, const Params &params_,
+        MemSink &memory_)
+    : OramPhasedController(name, eq, parent, memory_,
+                           params_.areaBase,
+                           params_.perBlockLatency),
+      params(params_), wo(params_.oram)
+{
+    stats().addAverage("holdingOccupancy", &holdingOccupancy,
+                       "blocks whose freshest copy is in holding");
+}
+
+OramPhasedController::AccessPlan
+WriteOnlyOramController::planAccess(const MemPacket &pkt)
+{
+    AccessPlan plan;
+    uint64_t block_id =
+        (pkt.addr / blockBytes) % wo.capacityBlocks();
+    if (pkt.isRead()) {
+        plan.result = wo.read(block_id);
+        plan.readSlots = wo.lastReadSlots();
+    } else {
+        wo.write(block_id, pkt.data);
+        plan.result = pkt.data;
+        plan.writeSlots = wo.lastWriteSlots();
+    }
+    holdingOccupancy.sample(static_cast<double>(wo.holdingCount()));
+    return plan;
 }
 
 } // namespace obfusmem

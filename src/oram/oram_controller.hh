@@ -1,6 +1,6 @@
 /**
  * @file
- * Timing models for the ORAM baseline.
+ * Timing models for the ORAM-family baselines.
  *
  * OramFixedLatency reproduces the paper's deliberately *optimistic*
  * evaluation model: every LLC miss or writeback costs a fixed 2500 ns
@@ -8,10 +8,20 @@
  * while still accounting the path's block reads/writes for the
  * energy/lifetime analysis of Sec. 5.2.
  *
- * OramDetailed drives the real functional Path ORAM and issues every
- * bucket-block transfer through the channel/PCM substrate, for the
- * ablation comparing the paper's fixed-latency assumption against a
- * device-level model.
+ * The detailed controllers all share OramPhasedController: a
+ * functional structure plans each access as a set of physical block
+ * reads followed by a set of physical block writes, and the base
+ * class issues every one of those transfers through the channel/PCM
+ * substrate below (a PlainPath over buses and PCM), serializing
+ * accesses like a real single-ported controller.
+ *
+ *  - OramDetailed drives the functional Path ORAM: (L+1)*Z reads then
+ *    (L+1)*Z writes per access.
+ *  - FlatOramController drives Flat ORAM: one read per read access,
+ *    one write (to a random free slot) per write access.
+ *  - WriteOnlyOramController drives the deterministic write-only
+ *    ORAM: one read per read access, exactly two writes (holding +
+ *    round-robin refresh) per write access.
  */
 
 #ifndef OBFUSMEM_ORAM_ORAM_CONTROLLER_HH
@@ -21,7 +31,9 @@
 
 #include "mem/backing_store.hh"
 #include "mem/packet.hh"
+#include "oram/flat_oram.hh"
 #include "oram/path_oram.hh"
+#include "oram/write_only_oram.hh"
 #include "sim/sim_object.hh"
 
 namespace obfusmem {
@@ -87,10 +99,85 @@ class OramFixedLatency : public SimObject, public MemSink
 };
 
 /**
- * Detailed Path ORAM: serial path reads/writes against the real
- * memory substrate below (a PlainPath over buses and PCM).
+ * Shared timing machinery for the detailed (substrate-driving)
+ * ORAM-family controllers.
+ *
+ * A subclass implements planAccess(): perform the functional access
+ * and report the physical slots to read and to write. The base class
+ * then issues all reads through the memory below, then all writes,
+ * then completes the request after perBlockLatency of on-chip
+ * processing - the same two-phase shape for every model, so their
+ * wire traces differ only in what the functional structures demand.
  */
-class OramDetailed : public SimObject, public MemSink
+class OramPhasedController : public SimObject, public MemSink
+{
+  public:
+    void access(MemPacket pkt, PacketCallback cb) override;
+
+    uint64_t blocksTransferred() const
+    {
+        return static_cast<uint64_t>(physicalTransfers.value());
+    }
+
+    uint64_t accessCount() const
+    {
+        return static_cast<uint64_t>(accesses.value());
+    }
+
+  protected:
+    /** The physical-transfer plan of one functional access. */
+    struct AccessPlan
+    {
+        /** Data to return to the requester (for reads). */
+        DataBlock result{};
+        /** Physical slot indices to read, in issue order. */
+        std::vector<uint64_t> readSlots;
+        /** Physical slot indices to write, in issue order. */
+        std::vector<uint64_t> writeSlots;
+    };
+
+    OramPhasedController(const std::string &name, EventQueue &eq,
+                         statistics::Group *parent, MemSink &memory,
+                         uint64_t regionBase, Tick perBlockLatency);
+
+    /**
+     * Perform the functional access for @p pkt and return the plan.
+     * Called once per request, in request order.
+     */
+    virtual AccessPlan planAccess(const MemPacket &pkt) = 0;
+
+    /** Physical address of a slot index inside this model's region. */
+    uint64_t slotAddr(uint64_t slot) const
+    {
+        return regionBase + slot * blockBytes;
+    }
+
+  private:
+    struct QueuedAccess
+    {
+        MemPacket pkt;
+        PacketCallback cb;
+    };
+
+    void startNext();
+
+    MemSink &memory;
+    uint64_t regionBase;
+    Tick perBlockLatency;
+
+    std::deque<QueuedAccess> queue;
+    bool busy = false;
+
+    statistics::Scalar accesses;
+    statistics::Scalar physicalTransfers;
+    statistics::Average accessLatencyNs;
+};
+
+/**
+ * Detailed Path ORAM: serial path reads/writes against the real
+ * memory substrate below.
+ */
+class OramDetailed : public OramPhasedController
 {
   public:
     struct Params
@@ -106,36 +193,85 @@ class OramDetailed : public SimObject, public MemSink
                  statistics::Group *parent, const Params &params,
                  MemSink &memory);
 
-    void access(MemPacket pkt, PacketCallback cb) override;
-
     PathOram &oram() { return tree; }
+    const PathOram &oram() const { return tree; }
 
-    uint64_t blocksTransferred() const
-    {
-        return static_cast<uint64_t>(physicalTransfers.value());
-    }
+  protected:
+    AccessPlan planAccess(const MemPacket &pkt) override;
 
   private:
-    struct QueuedAccess
-    {
-        MemPacket pkt;
-        PacketCallback cb;
-    };
-
-    void startNext();
-    uint64_t slotAddr(const PathOram::SlotRef &slot) const;
-
     Params params;
-    MemSink &memory;
     PathOram tree;
 
-    std::deque<QueuedAccess> queue;
-    bool busy = false;
-
-    statistics::Scalar accesses;
-    statistics::Scalar physicalTransfers;
-    statistics::Average accessLatencyNs;
     statistics::Average stashOccupancy;
+    statistics::Average stashPeakOccupancy;
+};
+
+/**
+ * Detailed Flat ORAM (write-only): one substrate read per read, one
+ * substrate write to a uniformly random free slot per write.
+ */
+class FlatOramController : public OramPhasedController
+{
+  public:
+    struct Params
+    {
+        FlatOram::Params oram{};
+        /** Physical base address of the slot array in memory. */
+        uint64_t arrayBase = 0;
+        /** On-chip processing per block (decrypt/PosMap logic). */
+        Tick perBlockLatency = 2 * tickPerNs;
+    };
+
+    FlatOramController(const std::string &name, EventQueue &eq,
+                       statistics::Group *parent,
+                       const Params &params, MemSink &memory);
+
+    FlatOram &oram() { return flat; }
+    const FlatOram &oram() const { return flat; }
+
+  protected:
+    AccessPlan planAccess(const MemPacket &pkt) override;
+
+  private:
+    Params params;
+    FlatOram flat;
+
+    statistics::Average writeProbes;
+};
+
+/**
+ * Detailed deterministic write-only ORAM: one substrate read per
+ * read; per write, the fixed holding-slot + round-robin-refresh pair
+ * whose addresses depend only on the write count.
+ */
+class WriteOnlyOramController : public OramPhasedController
+{
+  public:
+    struct Params
+    {
+        WriteOnlyOram::Params oram{};
+        /** Physical base address of the main+holding areas. */
+        uint64_t areaBase = 0;
+        /** On-chip processing per block. */
+        Tick perBlockLatency = 2 * tickPerNs;
+    };
+
+    WriteOnlyOramController(const std::string &name, EventQueue &eq,
+                            statistics::Group *parent,
+                            const Params &params, MemSink &memory);
+
+    WriteOnlyOram &oram() { return wo; }
+    const WriteOnlyOram &oram() const { return wo; }
+
+  protected:
+    AccessPlan planAccess(const MemPacket &pkt) override;
+
+  private:
+    Params params;
+    WriteOnlyOram wo;
+
+    statistics::Average holdingOccupancy;
 };
 
 } // namespace obfusmem

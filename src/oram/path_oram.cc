@@ -6,10 +6,28 @@
 #include "oram/path_oram.hh"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
+#include "util/assert.hh"
 #include "util/logging.hh"
+#include "util/serial.hh"
 
 namespace obfusmem {
+
+DataBlock
+junkDataBlock(uint64_t block_id)
+{
+    DataBlock result{};
+    uint64_t x = block_id ^ 0x0bf5ceedULL;
+    for (auto &byte : result) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        byte = static_cast<uint8_t>(x);
+    }
+    return result;
+}
 
 PathOram::PathOram(const Params &params_)
     : params(params_), rng(params_.seed)
@@ -87,13 +105,7 @@ PathOram::access(uint64_t block_id, const DataBlock *new_data)
     DataBlock result{};
     if (stash_it == stash.end()) {
         // First touch: deterministic junk, like uninitialized memory.
-        uint64_t x = block_id ^ 0x0bf5ceedULL;
-        for (auto &byte : result) {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            byte = static_cast<uint8_t>(x);
-        }
+        result = junkDataBlock(block_id);
         stash[block_id] = {new_leaf, result};
     } else {
         stash_it->second.leaf = new_leaf;
@@ -101,6 +113,24 @@ PathOram::access(uint64_t block_id, const DataBlock *new_data)
     }
     if (new_data)
         stash[block_id].data = *new_data;
+
+    // The stash is now at its mid-access peak: the whole path plus
+    // the accessed block, before eviction drains it. This is the
+    // occupancy a hardware stash must hold, so the capacity limit is
+    // enforced here - not after eviction, which systematically
+    // under-reports pressure.
+    lastPeakStash = stash.size();
+    maxTransientStash = std::max(maxTransientStash, lastPeakStash);
+    if (lastPeakStash > params.stashLimit) {
+        OBF_ASSERT(!params.failOnOverflow,
+                   "Path ORAM stash overflow: ", lastPeakStash,
+                   " blocks > stashLimit ", params.stashLimit,
+                   " (access ", accessCount, ", block ", block_id,
+                   "); a hardware controller deadlocks here. Set "
+                   "Params::failOnOverflow=false only to measure "
+                   "overflow frequency past the design point.");
+        ++overflows;
+    }
 
     // Write back: from the leaf up, greedily place stash blocks whose
     // assigned path intersects this bucket.
@@ -126,8 +156,6 @@ PathOram::access(uint64_t block_id, const DataBlock *new_data)
     }
 
     maxStash = std::max(maxStash, stash.size());
-    if (stash.size() > params.stashLimit)
-        ++overflows;
 
     return result;
 }
@@ -177,6 +205,128 @@ PathOram::leafOf(uint64_t block_id) const
     if (it == posMap.end())
         return std::nullopt;
     return it->second;
+}
+
+namespace {
+/** "PORAMv1\0" as a little-endian u64 format tag. */
+constexpr uint64_t kPathOramMagic = 0x0031764d41524f50ULL;
+} // namespace
+
+void
+PathOram::serialize(std::ostream &os) const
+{
+    serial::putU64(os, kPathOramMagic);
+    serial::putU64(os, params.levels);
+    serial::putU64(os, params.bucketSize);
+
+    serial::putU64(os, posMap.size());
+    for (const auto &[block_id, leaf] : posMap) {
+        serial::putU64(os, block_id);
+        serial::putU64(os, leaf);
+    }
+
+    serial::putU64(os, stash.size());
+    for (const auto &[block_id, entry] : stash) {
+        serial::putU64(os, block_id);
+        serial::putU64(os, entry.leaf);
+        serial::putBytes(os, entry.data.data(), entry.data.size());
+    }
+
+    uint64_t valid = 0;
+    for (const auto &slot : slots)
+        valid += slot.valid ? 1 : 0;
+    serial::putU64(os, valid);
+    for (uint64_t i = 0; i < slots.size(); ++i) {
+        const Slot &slot = slots[i];
+        if (!slot.valid)
+            continue;
+        serial::putU64(os, i);
+        serial::putU64(os, slot.blockId);
+        serial::putU64(os, slot.leaf);
+        serial::putBytes(os, slot.data.data(), slot.data.size());
+    }
+
+    for (uint64_t word : rng.rawState())
+        serial::putU64(os, word);
+    serial::putU64(os, maxStash);
+    serial::putU64(os, maxTransientStash);
+    serial::putU64(os, overflows);
+    serial::putU64(os, accessCount);
+}
+
+bool
+PathOram::deserialize(std::istream &is)
+{
+    if (!serial::expectU64(is, kPathOramMagic)
+        || !serial::expectU64(is, params.levels)
+        || !serial::expectU64(is, params.bucketSize)) {
+        return false;
+    }
+
+    uint64_t pos_entries = 0;
+    if (!serial::getU64(is, pos_entries))
+        return false;
+    posMap.clear();
+    for (uint64_t i = 0; i < pos_entries; ++i) {
+        uint64_t block_id = 0, leaf = 0;
+        if (!serial::getU64(is, block_id) || !serial::getU64(is, leaf))
+            return false;
+        posMap[block_id] = leaf;
+    }
+
+    uint64_t stash_entries = 0;
+    if (!serial::getU64(is, stash_entries))
+        return false;
+    stash.clear();
+    for (uint64_t i = 0; i < stash_entries; ++i) {
+        uint64_t block_id = 0;
+        StashEntry entry{};
+        if (!serial::getU64(is, block_id)
+            || !serial::getU64(is, entry.leaf)
+            || !serial::getBytes(is, entry.data.data(),
+                                 entry.data.size())) {
+            return false;
+        }
+        stash[block_id] = entry;
+    }
+
+    uint64_t valid = 0;
+    if (!serial::getU64(is, valid))
+        return false;
+    slots.assign(slots.size(), Slot{});
+    for (uint64_t i = 0; i < valid; ++i) {
+        uint64_t index = 0;
+        Slot slot{};
+        if (!serial::getU64(is, index) || index >= slots.size()
+            || !serial::getU64(is, slot.blockId)
+            || !serial::getU64(is, slot.leaf)
+            || !serial::getBytes(is, slot.data.data(),
+                                 slot.data.size())) {
+            return false;
+        }
+        slot.valid = true;
+        slots[index] = slot;
+    }
+
+    std::array<uint64_t, 4> state{};
+    for (uint64_t &word : state) {
+        if (!serial::getU64(is, word))
+            return false;
+    }
+    rng.setRawState(state);
+
+    uint64_t max_stash = 0, max_transient = 0;
+    if (!serial::getU64(is, max_stash)
+        || !serial::getU64(is, max_transient)
+        || !serial::getU64(is, overflows)
+        || !serial::getU64(is, accessCount)) {
+        return false;
+    }
+    maxStash = max_stash;
+    maxTransientStash = max_transient;
+    lastPeakStash = 0;
+    lastSlots.clear();
+    return true;
 }
 
 } // namespace obfusmem

@@ -15,6 +15,7 @@
 #define OBFUSMEM_ORAM_PATH_ORAM_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,13 @@
 #include "util/stats.hh"
 
 namespace obfusmem {
+
+/**
+ * Deterministic "uninitialized memory" content for the first read of
+ * a never-written block, shared by every functional ORAM structure so
+ * first-touch junk is identical across backends.
+ */
+DataBlock junkDataBlock(uint64_t block_id);
 
 /**
  * The functional Path ORAM structure.
@@ -38,8 +46,24 @@ class PathOram
         unsigned levels = 12;
         /** Blocks per bucket (Z=4 in the paper). */
         unsigned bucketSize = 4;
-        /** Stash capacity before declaring overflow (deadlock). */
+        /**
+         * Stash capacity before declaring overflow (deadlock). The
+         * limit is enforced against the mid-access transient peak -
+         * path read-in plus the accessed block, before write-back
+         * eviction - because that is the occupancy a hardware stash
+         * must physically hold.
+         */
         size_t stashLimit = 256;
+        /**
+         * Overflow policy. A real ORAM controller that exceeds its
+         * stash deadlocks (eviction cannot make progress), so by
+         * default an overflow fail-stops via OBF_ASSERT rather than
+         * silently continuing with an impossible stash. The ablation
+         * that *measures* overflow frequency past the design point
+         * (and table4's deadlock probe) opts out, in which case
+         * overflowing accesses are only counted in stashOverflows().
+         */
+        bool failOnOverflow = true;
         uint64_t seed = 1;
     };
 
@@ -87,7 +111,16 @@ class PathOram
     }
 
     size_t stashSize() const { return stash.size(); }
+    /** Largest stash occupancy observed *after* write-back eviction. */
     size_t maxStashSize() const { return maxStash; }
+    /**
+     * Largest mid-access stash occupancy: path read-in plus the
+     * accessed block, sampled before eviction. This transient peak is
+     * what sizes a hardware stash; it is always >= maxStashSize().
+     */
+    size_t maxTransientStashSize() const { return maxTransientStash; }
+    /** Mid-access peak of the most recent access (for stats). */
+    size_t lastAccessPeakStash() const { return lastPeakStash; }
     uint64_t stashOverflows() const { return overflows; }
     uint64_t accesses() const { return accessCount; }
 
@@ -102,6 +135,21 @@ class PathOram
 
     /** The current leaf assignment of a block (for tests). */
     std::optional<uint64_t> leafOf(uint64_t block_id) const;
+
+    /**
+     * Checkpoint the full functional state (geometry, position map,
+     * stash, tree contents, RNG stream) to a binary stream; a
+     * restored instance is bit-identical going forward. The
+     * ObliviousBackend vtable's serialize half calls this.
+     */
+    void serialize(std::ostream &os) const;
+
+    /**
+     * Restore from serialize() output. Returns false (leaving the
+     * structure unspecified) on a malformed stream or a geometry
+     * mismatch with this instance's params.
+     */
+    bool deserialize(std::istream &is);
 
   private:
     struct Slot
@@ -134,6 +182,8 @@ class PathOram
 
     Random rng;
     size_t maxStash = 0;
+    size_t maxTransientStash = 0;
+    size_t lastPeakStash = 0;
     uint64_t overflows = 0;
     uint64_t accessCount = 0;
     std::vector<SlotRef> lastSlots;

@@ -17,6 +17,7 @@
 #include "obfusmem/params.hh"
 #include "oram/oram_controller.hh"
 #include "secure/encryption_engine.hh"
+#include "sim/event_queue.hh"
 
 namespace obfusmem {
 
@@ -35,9 +36,19 @@ enum class ProtectionMode
     OramFixed,
     /** Path ORAM driving the detailed PCM substrate. */
     OramDetailed,
+    /** Flat (write-only) ORAM driving the detailed PCM substrate. */
+    FlatOram,
+    /**
+     * Deterministic stash-free write-only ORAM driving the detailed
+     * PCM substrate.
+     */
+    WriteOnlyOram,
 };
 
-/** Human-readable mode name. */
+/**
+ * Human-readable mode name (the registry row's canonical name; see
+ * system/oblivious_backend.hh).
+ */
 const char *protectionModeName(ProtectionMode mode);
 
 /** Full system configuration. */
@@ -80,6 +91,16 @@ struct SystemConfig
     FaultInjector::Params faults{};
     OramFixedLatency::Params oramFixed{};
     OramDetailed::Params oramDetailed{};
+    FlatOramController::Params flatOram{};
+    WriteOnlyOramController::Params writeOnlyOram{};
+
+    /**
+     * Event-queue implementation for this system's kernel. Defaults
+     * to the process-wide OBFUSMEM_EVQ_IMPL latch; the conformance
+     * suite overrides it to cross-check wheel vs heap traces within
+     * one process.
+     */
+    EvqImpl evqImpl = EventQueue::defaultImpl();
 
     /**
      * Build the trace cores and warm the caches. The datacenter

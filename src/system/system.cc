@@ -14,20 +14,6 @@
 
 namespace obfusmem {
 
-const char *
-protectionModeName(ProtectionMode mode)
-{
-    switch (mode) {
-      case ProtectionMode::Unprotected: return "unprotected";
-      case ProtectionMode::EncryptionOnly: return "encryption-only";
-      case ProtectionMode::ObfusMem: return "obfusmem";
-      case ProtectionMode::ObfusMemAuth: return "obfusmem+auth";
-      case ProtectionMode::OramFixed: return "oram-fixed";
-      case ProtectionMode::OramDetailed: return "oram-detailed";
-    }
-    return "?";
-}
-
 namespace {
 
 /** Deterministic per-channel session key (when not running boot). */
@@ -46,7 +32,7 @@ kdfChannelKey(uint64_t seed, unsigned channel)
 } // namespace
 
 System::System(const SystemConfig &config)
-    : cfg(config), root("system", nullptr)
+    : cfg(config), eq(config.evqImpl), root("system", nullptr)
 {
     // `eq` is declared before `root`, so its stats group attaches here
     // rather than from an init-list.
@@ -69,12 +55,10 @@ System::~System() = default;
 void
 System::buildMemoryPath()
 {
-    const bool needs_buses = cfg.mode != ProtectionMode::OramFixed;
+    const ObliviousBackendInfo &info = backendInfo(cfg.mode);
+    const bool obfus_mode = info.obfuscatedWire;
 
-    const bool obfus_mode = cfg.mode == ProtectionMode::ObfusMem
-                            || cfg.mode == ProtectionMode::ObfusMemAuth;
-
-    if (needs_buses) {
+    if (info.needsBuses) {
         if (cfg.attachObserver)
             busObserver = std::make_unique<BusObserver>(cfg.channels);
         if (cfg.attachAuditor) {
@@ -125,8 +109,7 @@ System::buildMemoryPath()
     }
 
     // Session keys for the ObfusMem modes.
-    if (cfg.mode == ProtectionMode::ObfusMem
-        || cfg.mode == ProtectionMode::ObfusMemAuth) {
+    if (obfus_mode) {
         if (cfg.runBootProtocol) {
             Random boot_rng(cfg.seed ^ 0xb007b007ULL);
             trust::Manufacturer proc_maker("ProcCorp", 256, boot_rng);
@@ -149,112 +132,19 @@ System::buildMemoryPath()
         }
     }
 
-    switch (cfg.mode) {
-      case ProtectionMode::Unprotected:
-      case ProtectionMode::EncryptionOnly: {
-        std::vector<ChannelBus *> bus_ptrs;
-        std::vector<PcmController *> pcm_ptrs;
-        for (unsigned c = 0; c < cfg.channels; ++c) {
-            bus_ptrs.push_back(buses[c].get());
-            pcm_ptrs.push_back(pcms[c].get());
-        }
-        plainPath = std::make_unique<PlainPath>(
-            "system.plainPath", eq, &root, *map, bus_ptrs, pcm_ptrs,
-            pktPool, PlainPath::Params{});
-        if (cfg.mode == ProtectionMode::EncryptionOnly) {
-            EncryptionParams enc = cfg.encryption;
-            encEngine = std::make_unique<MemoryEncryptionEngine>(
-                "system.encEngine", eq, &root, enc, *plainPath,
-                cfg.dataRegionBytes(), cfg.counterRegionBase(),
-                cfg.bmtRegionBase(), kdfChannelKey(cfg.seed, 0xff));
-            memoryPath = encEngine.get();
-        } else {
-            memoryPath = plainPath.get();
-        }
-        break;
-      }
-
-      case ProtectionMode::ObfusMem:
-      case ProtectionMode::ObfusMemAuth: {
-        ObfusMemParams om = cfg.obfusmem;
-        om.auth = cfg.mode == ProtectionMode::ObfusMemAuth;
-
-        // Reserved per-channel dummy block: the very top row of the
-        // channel, far above every workload/metadata region.
-        std::vector<uint64_t> dummy_addrs;
-        std::vector<ChannelBus *> bus_ptrs;
-        for (unsigned c = 0; c < cfg.channels; ++c) {
-            DecodedAddr loc;
-            loc.channel = c;
-            loc.rank = map->ranksPerChannel() - 1;
-            loc.bank = map->banksPerRank() - 1;
-            loc.row = map->rowsPerBank() - 1;
-            loc.column = map->blocksPerRow() - 1;
-            dummy_addrs.push_back(map->encode(loc));
-            bus_ptrs.push_back(buses[c].get());
-        }
-
-        obfusProc = std::make_unique<ObfusMemProcSide>(
-            "system.obfusProc", eq, &root, om, *map, channelKeys,
-            bus_ptrs, dummy_addrs);
-
-        for (unsigned c = 0; c < cfg.channels; ++c) {
-            obfusMem.push_back(std::make_unique<ObfusMemMemSide>(
-                "system.obfusMem" + std::to_string(c), eq, &root, om,
-                c, channelKeys[c], *buses[c], *pcms[c], *store,
-                dummy_addrs[c]));
-            // Production wiring is direct pointers: message delivery
-            // is a virtual-free static call, no std::function hop.
-            // (Tests that need to intercept frames still use
-            // setRequestTarget/setReplyTarget, which override these.)
-            ObfusMemMemSide *side = obfusMem.back().get();
-            obfusProc->setMemSide(c, side);
-            side->setProcSide(obfusProc.get());
-        }
-
-        if (traceAuditor) {
-            obfusProc->setAuditHook(traceAuditor.get());
-            for (auto &side : obfusMem)
-                side->setAuditHook(traceAuditor.get());
-        }
-
-        EncryptionParams enc = cfg.encryption;
-        encEngine = std::make_unique<MemoryEncryptionEngine>(
-            "system.encEngine", eq, &root, enc, *obfusProc,
-            cfg.dataRegionBytes(), cfg.counterRegionBase(),
-            cfg.bmtRegionBase(), kdfChannelKey(cfg.seed, 0xff));
-        memoryPath = encEngine.get();
-        break;
-      }
-
-      case ProtectionMode::OramFixed: {
-        oramFixedCtl = std::make_unique<OramFixedLatency>(
-            "system.oram", eq, &root, cfg.oramFixed, *store);
-        memoryPath = oramFixedCtl.get();
-        break;
-      }
-
-      case ProtectionMode::OramDetailed: {
-        std::vector<ChannelBus *> bus_ptrs;
-        std::vector<PcmController *> pcm_ptrs;
-        for (unsigned c = 0; c < cfg.channels; ++c) {
-            bus_ptrs.push_back(buses[c].get());
-            pcm_ptrs.push_back(pcms[c].get());
-        }
-        plainPath = std::make_unique<PlainPath>(
-            "system.plainPath", eq, &root, *map, bus_ptrs, pcm_ptrs,
-            pktPool, PlainPath::Params{});
-        OramDetailed::Params op = cfg.oramDetailed;
-        if (op.treeBase == 0)
-            op.treeBase = cfg.oramTreeBase();
-        oramDetailedCtl = std::make_unique<OramDetailed>(
-            "system.oram", eq, &root, op, *plainPath);
-        memoryPath = oramDetailedCtl.get();
-        break;
-      }
-    }
-
-    panic_if(memoryPath == nullptr, "memory path not built");
+    BackendContext ctx{cfg,
+                       eq,
+                       root,
+                       pktPool,
+                       *map,
+                       *store,
+                       buses,
+                       pcms,
+                       traceAuditor.get(),
+                       channelKeys,
+                       kdfChannelKey(cfg.seed, 0xff)};
+    protBackend = info.create(ctx);
+    memoryPath = &protBackend->sink();
 }
 
 void
@@ -414,15 +304,9 @@ System::functionalRead(uint64_t addr)
     if (caches->peekBlock(addr, out))
         return out;
 
-    if (cfg.mode == ProtectionMode::OramDetailed) {
-        // Test-only: the functional tree is authoritative.
-        return oramDetailedCtl->oram().read(addr / blockBytes);
-    }
-
-    DataBlock raw = store->read(addr);
-    if (encEngine && addr < cfg.dataRegionBytes())
-        return encEngine->debugDecrypt(addr, raw);
-    return raw;
+    if (auto resolved = protBackend->functionalRead(addr))
+        return *resolved;
+    return store->read(addr);
 }
 
 } // namespace obfusmem

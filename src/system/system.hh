@@ -20,6 +20,7 @@
 #include "obfusmem/plain_path.hh"
 #include "obfusmem/proc_side.hh"
 #include "system/config.hh"
+#include "system/oblivious_backend.hh"
 
 namespace obfusmem {
 
@@ -77,6 +78,22 @@ class System
      */
     DataBlock functionalRead(uint64_t addr);
 
+    /**
+     * Checkpoint / restore the protection path's functional state
+     * (position maps, stashes, counters, RNG streams) through the
+     * backend's serialize vtable half. Restore requires a system
+     * built with the same mode and geometry.
+     */
+    void serializeBackend(std::ostream &os) const
+    {
+        protBackend->serialize(os);
+    }
+
+    bool restoreBackend(std::istream &is)
+    {
+        return protBackend->deserialize(is);
+    }
+
     // --- Component access (tests, benches, examples) -----------------
 
     EventQueue &eventQueue() { return eq; }
@@ -95,11 +112,17 @@ class System
     BusObserver *observer() { return busObserver.get(); }
     check::TraceAuditor *auditor() { return traceAuditor.get(); }
     FaultInjector *faults() { return faultInjector.get(); }
-    MemoryEncryptionEngine *encryptionEngine() { return encEngine.get(); }
-    ObfusMemProcSide *procSide() { return obfusProc.get(); }
+    /** The assembled protection path (never null). */
+    ObliviousBackend &backend() { return *protBackend; }
+    MemoryEncryptionEngine *encryptionEngine()
+    {
+        return protBackend->encryptionEngine();
+    }
+    ObfusMemProcSide *procSide() { return protBackend->procSide(); }
     std::vector<std::unique_ptr<ObfusMemMemSide>> &memSides()
     {
-        return obfusMem;
+        auto *sides = protBackend->memSides();
+        return sides ? *sides : noMemSides;
     }
     std::vector<std::unique_ptr<PcmController>> &pcmControllers()
     {
@@ -109,8 +132,19 @@ class System
     {
         return buses;
     }
-    OramFixedLatency *oramFixed() { return oramFixedCtl.get(); }
-    OramDetailed *oramDetailed() { return oramDetailedCtl.get(); }
+    OramFixedLatency *oramFixed() { return protBackend->oramFixed(); }
+    OramDetailed *oramDetailed()
+    {
+        return protBackend->oramDetailed();
+    }
+    FlatOramController *flatOramCtl()
+    {
+        return protBackend->flatOram();
+    }
+    WriteOnlyOramController *writeOnlyOramCtl()
+    {
+        return protBackend->writeOnlyOram();
+    }
     TraceCore &core(unsigned i) { return *cores[i]; }
     const SystemConfig &config() const { return cfg; }
 
@@ -141,12 +175,9 @@ class System
     std::unique_ptr<FaultInjector> faultInjector;
 
     std::vector<crypto::Aes128::Key> channelKeys;
-    std::unique_ptr<PlainPath> plainPath;
-    std::unique_ptr<ObfusMemProcSide> obfusProc;
-    std::vector<std::unique_ptr<ObfusMemMemSide>> obfusMem;
-    std::unique_ptr<MemoryEncryptionEngine> encEngine;
-    std::unique_ptr<OramFixedLatency> oramFixedCtl;
-    std::unique_ptr<OramDetailed> oramDetailedCtl;
+    std::unique_ptr<ObliviousBackend> protBackend;
+    /** Fallback for memSides() on backends without ObfusMem sides. */
+    std::vector<std::unique_ptr<ObfusMemMemSide>> noMemSides;
 
     /** The sink the cache hierarchy talks to. */
     MemSink *memoryPath = nullptr;

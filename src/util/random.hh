@@ -46,6 +46,13 @@ class Random
     /** Fill a byte buffer with random data. */
     void fillBytes(uint8_t *buf, size_t len);
 
+    /**
+     * Raw engine state, for checkpoint/restore: a restored instance
+     * continues the exact same deterministic stream.
+     */
+    const std::array<uint64_t, 4> &rawState() const { return state; }
+    void setRawState(const std::array<uint64_t, 4> &s) { state = s; }
+
   private:
     std::array<uint64_t, 4> state;
 };

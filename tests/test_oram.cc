@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "oram/oram_controller.hh"
 #include "oram/path_oram.hh"
@@ -143,9 +144,11 @@ TEST(PathOram, OverfillingTriggersStashPressure)
 {
     // Push far past the designed utilization: the stash grows, which
     // is exactly the overflow/deadlock risk the paper describes.
+    // Opt out of fail-stop to *measure* the overflow frequency.
     PathOram::Params params;
     params.levels = 4; // 31 buckets * 4 = 124 physical slots
     params.stashLimit = 8;
+    params.failOnOverflow = false;
     PathOram oram(params);
     Random rng(4);
     DataBlock d{};
@@ -155,6 +158,86 @@ TEST(PathOram, OverfillingTriggersStashPressure)
         oram.write(i, d);
     EXPECT_GT(oram.maxStashSize(), 8u);
     EXPECT_GT(oram.stashOverflows(), 0u);
+}
+
+TEST(PathOramDeathTest, StashOverflowFailStopsByDefault)
+{
+    // Regression for the silent-overflow bug: a stash past its limit
+    // means a hardware controller deadlocks, so by default the model
+    // must abort, not keep simulating an impossible machine.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    PathOram::Params params;
+    params.levels = 4;
+    params.stashLimit = 8;
+    PathOram oram(params);
+    DataBlock d{};
+    EXPECT_DEATH(
+        {
+            for (int i = 0; i < 300; ++i)
+                oram.write(i, d);
+        },
+        "stash overflow");
+}
+
+TEST(PathOram, TransientPeakExceedsPostEvictionStash)
+{
+    // The mid-access peak holds the whole path plus the accessed
+    // block before eviction drains it; sampling only after eviction
+    // (the old behavior) systematically under-reports the occupancy
+    // a hardware stash must be provisioned for.
+    PathOram::Params params;
+    params.levels = 8;
+    params.stashLimit = 300;
+    PathOram oram(params);
+    Random rng(9);
+    uint64_t blocks = oram.capacityBlocks() / 2;
+    for (int i = 0; i < 500; ++i) {
+        DataBlock d{};
+        oram.write(rng.randUnder(blocks), d);
+        EXPECT_GE(oram.lastAccessPeakStash(), oram.stashSize());
+    }
+    EXPECT_GE(oram.maxTransientStashSize(), oram.maxStashSize());
+    // Once the tree is warm, the peak includes a path's worth of
+    // read-in blocks on top of the resident stash.
+    EXPECT_GT(oram.maxTransientStashSize(), oram.maxStashSize() + 4);
+    EXPECT_EQ(oram.stashOverflows(), 0u);
+}
+
+TEST(PathOram, SerializeRoundTripsAndReplaysIdentically)
+{
+    PathOram::Params params;
+    params.levels = 7;
+    params.stashLimit = 400;
+    PathOram a(params);
+    Random rng(11);
+    for (int i = 0; i < 400; ++i) {
+        DataBlock d;
+        rng.fillBytes(d.data(), d.size());
+        a.write(rng.randUnder(a.capacityBlocks() / 2), d);
+    }
+
+    std::stringstream snap;
+    a.serialize(snap);
+    PathOram b(params);
+    ASSERT_TRUE(b.deserialize(snap));
+
+    // Same state and same RNG stream: both instances must now behave
+    // bit-identically, including leaf remaps.
+    for (int i = 0; i < 200; ++i) {
+        uint64_t block = static_cast<uint64_t>(i * 37) % 64;
+        EXPECT_EQ(a.read(block), b.read(block)) << "block " << block;
+        EXPECT_EQ(a.leafOf(block), b.leafOf(block));
+    }
+    EXPECT_EQ(a.stashSize(), b.stashSize());
+    EXPECT_TRUE(b.checkInvariant());
+
+    // A truncated stream is rejected cleanly.
+    std::stringstream full;
+    a.serialize(full);
+    std::string bytes = full.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    PathOram c(params);
+    EXPECT_FALSE(c.deserialize(cut));
 }
 
 TEST(PathOram, OccupancyNeverExceedsOne)
@@ -260,8 +343,8 @@ TEST(OramDetailed, DrivesRealMemoryTraffic)
     cfg.benchmark = "milc";
     cfg.cores = 1;
     cfg.instrPerCore = 2000;
-    cfg.oramDetailed.oram.levels = 10;
-    cfg.oramDetailed.oram.stashLimit = 2000;
+    cfg.oramDetailed.oram.levels = 14;
+    cfg.oramDetailed.oram.stashLimit = 500;
     System sys(cfg);
     auto result = sys.run();
     EXPECT_GT(result.instructions, 0u);
@@ -288,8 +371,8 @@ TEST(OramDetailed, MuchSlowerThanObfusMem)
     auto obfus_result = obfus.run();
 
     cfg.mode = ProtectionMode::OramDetailed;
-    cfg.oramDetailed.oram.levels = 10;
-    cfg.oramDetailed.oram.stashLimit = 2000;
+    cfg.oramDetailed.oram.levels = 14;
+    cfg.oramDetailed.oram.stashLimit = 500;
     System oram(cfg);
     auto oram_result = oram.run();
 

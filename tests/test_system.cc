@@ -22,8 +22,18 @@ quickConfig(ProtectionMode mode, const std::string &bench = "milc")
     cfg.cores = 2;
     cfg.instrPerCore = 20000;
     if (mode == ProtectionMode::OramDetailed) {
-        cfg.oramDetailed.oram.levels = 10;
-        cfg.oramDetailed.oram.stashLimit = 4000;
+        // Size the tree for the workload: the functional structure
+        // keeps every distinct block ever touched, so a tree whose
+        // capacity is below that count inflates the stash without
+        // bound (and now fail-stops, as a real controller would
+        // deadlock). levels=14 holds ~65k blocks, far above what
+        // 2x3000 instructions touch.
+        cfg.oramDetailed.oram.levels = 14;
+        cfg.oramDetailed.oram.stashLimit = 500;
+        cfg.instrPerCore = 3000;
+    }
+    if (mode == ProtectionMode::FlatOram
+        || mode == ProtectionMode::WriteOnlyOram) {
         cfg.instrPerCore = 3000;
     }
     return cfg;
@@ -77,7 +87,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ProtectionMode::ObfusMem,
                       ProtectionMode::ObfusMemAuth,
                       ProtectionMode::OramFixed,
-                      ProtectionMode::OramDetailed),
+                      ProtectionMode::OramDetailed,
+                      ProtectionMode::FlatOram,
+                      ProtectionMode::WriteOnlyOram),
     [](const ::testing::TestParamInfo<ProtectionMode> &info) {
         std::string name = protectionModeName(info.param);
         for (char &c : name) {
@@ -195,13 +207,25 @@ TEST(SystemConfig, MemoryLayoutRegionsDisjoint)
 TEST(SystemConfig, ModeNamesAreDistinct)
 {
     std::set<std::string> names;
-    for (auto mode : {ProtectionMode::Unprotected,
-                      ProtectionMode::EncryptionOnly,
-                      ProtectionMode::ObfusMem,
-                      ProtectionMode::ObfusMemAuth,
-                      ProtectionMode::OramFixed,
-                      ProtectionMode::OramDetailed}) {
-        names.insert(protectionModeName(mode));
+    for (const auto &info : allBackendInfos())
+        names.insert(info.name);
+    EXPECT_EQ(names.size(), allBackendInfos().size());
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(SystemConfig, BackendRegistryRoundTrips)
+{
+    for (const auto &info : allBackendInfos()) {
+        EXPECT_EQ(backendInfo(info.mode).name, info.name);
+        const ObliviousBackendInfo *by_name =
+            backendInfoByName(info.name);
+        ASSERT_NE(by_name, nullptr);
+        EXPECT_EQ(by_name->mode, info.mode);
     }
-    EXPECT_EQ(names.size(), 6u);
+    // Documented aliases resolve too; junk does not.
+    EXPECT_EQ(backendInfoByName("encryption")->mode,
+              ProtectionMode::EncryptionOnly);
+    EXPECT_EQ(backendInfoByName("obfusmem-auth")->mode,
+              ProtectionMode::ObfusMemAuth);
+    EXPECT_EQ(backendInfoByName("no-such-backend"), nullptr);
 }
